@@ -1,0 +1,120 @@
+// Command aigopt applies optimization passes or high-effort flows to an
+// AIGER file and writes the optimized result.
+//
+// Usage:
+//
+//	aigopt -script dc2 in.aag out.aag
+//	aigopt -script "b;rw;rf;rs;rwz" in.aig out.aig
+//
+// Script atoms: b (balance), rw/rwz (rewrite / zero-cost), rf/rfz
+// (refactor), rs/rsz (resub), lut4/lut6 (LUT round trip), or a flow name
+// (orchestrate, dc2, deepsyn, compress).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/aig"
+	"repro/internal/aiger"
+	"repro/internal/lutmap"
+	"repro/internal/opt"
+)
+
+func main() {
+	script := flag.String("script", "dc2", "optimization script (see doc)")
+	seed := flag.Int64("seed", 1, "seed for randomized flows")
+	verify := flag.Bool("verify", false, "check equivalence by random simulation (and exhaustively up to 16 inputs)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: aigopt [-script S] [-verify] in.aag out.aag")
+		os.Exit(2)
+	}
+	in, out := flag.Arg(0), flag.Arg(1)
+	g, err := aiger.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	before := g.Stat()
+	og, err := runScript(g, *script, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *verify {
+		if err := verifyEquiv(g, og); err != nil {
+			fatal(err)
+		}
+	}
+	if err := aiger.WriteFile(out, og.Cleanup()); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %v\n%s: %v\n", in, before, out, og.Stat())
+}
+
+func runScript(g *aig.AIG, script string, seed int64) (*aig.AIG, error) {
+	cur := g
+	for _, atom := range strings.Split(script, ";") {
+		atom = strings.TrimSpace(atom)
+		if atom == "" {
+			continue
+		}
+		switch atom {
+		case "b":
+			cur = opt.Balance(cur)
+		case "rw":
+			cur = opt.RewriteOnce(cur, opt.RewriteOptions{})
+		case "rwz":
+			cur = opt.RewriteOnce(cur, opt.RewriteOptions{ZeroCost: true})
+		case "rf":
+			cur = opt.RefactorOnce(cur, opt.RefactorOptions{})
+		case "rfz":
+			cur = opt.RefactorOnce(cur, opt.RefactorOptions{ZeroCost: true})
+		case "rs":
+			cur = opt.ResubOnce(cur, opt.ResubOptions{})
+		case "rsz":
+			cur = opt.ResubOnce(cur, opt.ResubOptions{ZeroCost: true})
+		case "lut4":
+			cur = lutmap.RoundTrip(cur, lutmap.Options{K: 4})
+		case "lut6":
+			cur = lutmap.RoundTrip(cur, lutmap.Options{K: 6})
+		case "compress":
+			cur = opt.CompressToConvergence(cur)
+		default:
+			ng, err := opt.RunFlow(atom, cur, seed)
+			if err != nil {
+				return nil, fmt.Errorf("unknown script atom %q", atom)
+			}
+			cur = ng
+		}
+	}
+	return cur, nil
+}
+
+func verifyEquiv(a, b *aig.AIG) error {
+	if a.NumPIs() <= 16 {
+		idx, err := aig.Equivalent(a, b)
+		if err != nil {
+			return err
+		}
+		if idx != -1 {
+			return fmt.Errorf("VERIFICATION FAILED: output %d differs", idx)
+		}
+		return nil
+	}
+	r := newRand()
+	idx, err := aig.RandomSimCheck(a, b, 256, r)
+	if err != nil {
+		return err
+	}
+	if idx != -1 {
+		return fmt.Errorf("VERIFICATION FAILED: output %d differs", idx)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aigopt:", err)
+	os.Exit(1)
+}

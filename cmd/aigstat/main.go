@@ -1,0 +1,54 @@
+// Command aigstat prints statistics for AIGER files: input/output
+// counts, AND nodes, logic levels, and optionally the single-step
+// optimization reduction vector used by the RRR Score.
+//
+// Usage:
+//
+//	aigstat [-reductions] file.aag [file2.aig ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/aiger"
+	"repro/internal/simil"
+	"repro/internal/tt"
+)
+
+func main() {
+	reductions := flag.Bool("reductions", false, "also print single-step rewrite/refactor/resub reductions")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: aigstat [-reductions] file.aag ...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		g, err := aiger.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigstat:", err)
+			exit = 1
+			continue
+		}
+		if *dot {
+			if err := g.WriteDot(os.Stdout, path); err != nil {
+				fmt.Fprintln(os.Stderr, "aigstat:", err)
+				exit = 1
+			}
+			continue
+		}
+		fmt.Printf("%-30s %s\n", path, g.Stat())
+		if *reductions {
+			if g.NumPIs() > tt.MaxVars {
+				fmt.Printf("%-30s reductions unavailable (> %d inputs)\n", "", tt.MaxVars)
+				continue
+			}
+			red := simil.OptReductions(g)
+			fmt.Printf("%-30s rw=%.4f rf=%.4f rs=%.4f\n", "", red[0], red[1], red[2])
+		}
+	}
+	os.Exit(exit)
+}

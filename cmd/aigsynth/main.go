@@ -1,0 +1,85 @@
+// Command aigsynth synthesizes AIGs from truth-table specifications with
+// any of the seven recipes, or with all of them for a diversity report.
+//
+// Usage:
+//
+//	aigsynth -n 3 -tt e8,96 -recipe bdd out.aag     synthesize maj3+xor3
+//	aigsynth -n 3 -tt e8 -compare                   size report, all recipes
+//	aigsynth -spec fulladder -recipe fx out.aag     from the benchmark suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/aiger"
+	"repro/internal/synth"
+	"repro/internal/tt"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 0, "number of inputs (with -tt)")
+	hexTTs := flag.String("tt", "", "comma-separated hex truth tables, one per output")
+	specName := flag.String("spec", "", "benchmark-suite spec name (alternative to -tt)")
+	recipe := flag.String("recipe", "fx", "synthesis recipe")
+	compare := flag.Bool("compare", false, "print per-recipe size/depth instead of writing a file")
+	seed := flag.Int64("seed", 2024, "suite seed (with -spec)")
+	flag.Parse()
+
+	var spec []tt.TT
+	switch {
+	case *hexTTs != "":
+		if *n <= 0 {
+			fatal(fmt.Errorf("-tt requires -n"))
+		}
+		for _, h := range strings.Split(*hexTTs, ",") {
+			f, err := tt.ParseHex(*n, strings.TrimSpace(h))
+			if err != nil {
+				fatal(err)
+			}
+			spec = append(spec, f)
+		}
+	case *specName != "":
+		for _, s := range workload.Suite(*seed) {
+			if s.Name == *specName {
+				spec = s.Outputs
+				break
+			}
+		}
+		if spec == nil {
+			fatal(fmt.Errorf("unknown spec %q (see the workload package for names)", *specName))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: aigsynth (-tt HEX[,HEX...] -n N | -spec NAME) [-recipe R | -compare] [out.aag]")
+		os.Exit(2)
+	}
+
+	if *compare {
+		fmt.Printf("%-10s %8s %8s\n", "recipe", "ands", "levels")
+		for _, r := range synth.Recipes() {
+			g := r.Build(spec)
+			fmt.Printf("%-10s %8d %8d\n", r.Name, g.NumAnds(), g.NumLevels())
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("output file required (or use -compare)"))
+	}
+	g, err := synth.Synthesize(*recipe, spec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := aiger.WriteFile(flag.Arg(0), g); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %v\n", flag.Arg(0), g.Stat())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aigsynth:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command repro regenerates the paper's experimental artifacts: Table I
+// (traditional metrics vs ROD), Table II (AIG-specific metrics vs ROD
+// across flows), Figure 2 (optimization trajectories), and Figure 3 (the
+// Resub Score scatter). One invocation performs one experiment run; the
+// tables are different views of the same run.
+//
+// Usage:
+//
+//	repro [-seed N] [-max-inputs N] [-max-specs N] [-flows a,b] [-v]
+//	      [-table 1|2] [-figure 2|3] [-all] [-csv pairs.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 2024, "experiment seed")
+		maxInputs = flag.Int("max-inputs", 10, "skip specs with more inputs (paper's scalability cut)")
+		maxSpecs  = flag.Int("max-specs", 0, "truncate the suite (0 = all)")
+		flows     = flag.String("flows", "", "comma-separated flow subset (default all)")
+		verbose   = flag.Bool("v", false, "print per-spec progress")
+		table     = flag.Int("table", 0, "print only Table 1 or 2")
+		byCat     = flag.String("by-category", "", "metric whose per-category correlations to print (with -flows one flow)")
+		figure    = flag.Int("figure", 0, "print only Figure 2 or 3")
+		all       = flag.Bool("all", true, "print every artifact")
+		csvPath   = flag.String("csv", "", "write the raw pair samples to this CSV file")
+	)
+	flag.Parse()
+
+	if *figure == 2 {
+		out, err := harness.Figure2("fulladder", *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	cfg := harness.Config{
+		Seed:      *seed,
+		MaxInputs: *maxInputs,
+		MaxSpecs:  *maxSpecs,
+	}
+	if *flows != "" {
+		cfg.Flows = strings.Split(*flows, ",")
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	res, err := harness.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *byCat != "":
+		for _, fl := range res.FlowNames {
+			fmt.Print(res.CategoryTable(*byCat, fl))
+		}
+	case *table == 1:
+		fmt.Print(res.TableI())
+	case *table == 2:
+		fmt.Print(res.TableII())
+	case *figure == 3:
+		fmt.Print(res.Figure3Plot())
+		fmt.Print(res.Figure3())
+	case *all:
+		fmt.Println(res.CategorySummary())
+		fmt.Println(res.TableI())
+		fmt.Println(res.TableII())
+		fmt.Println(summaryOnlyFigure3(res))
+	}
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d pair samples to %s\n", len(res.Pairs), *csvPath)
+	}
+}
+
+// summaryOnlyFigure3 prints Figure 3's statistics without the full point
+// cloud (use -figure 3 for the raw series).
+func summaryOnlyFigure3(res *harness.Result) string {
+	full := res.Figure3()
+	lines := strings.SplitN(full, "\n", 4)
+	if len(lines) < 3 {
+		return full
+	}
+	return strings.Join(lines[:3], "\n") + "\n(run with -figure 3 for the full scatter series)\n"
+}
+
+func writeCSV(path string, res *harness.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	metricNames := append([]string(nil), res.MetricNames...)
+	sort.Strings(metricNames)
+	flowNames := append([]string(nil), res.FlowNames...)
+	fmt.Fprintf(f, "spec,recipeA,recipeB,gatesA,gatesB")
+	for _, m := range metricNames {
+		fmt.Fprintf(f, ",%s", m)
+	}
+	for _, fl := range flowNames {
+		fmt.Fprintf(f, ",ROD_%s", fl)
+	}
+	fmt.Fprintln(f)
+	for _, p := range res.Pairs {
+		fmt.Fprintf(f, "%s,%s,%s,%d,%d", p.Spec, p.RecipeA, p.RecipeB, p.GatesA, p.GatesB)
+		for _, m := range metricNames {
+			fmt.Fprintf(f, ",%.6f", p.Metrics[m])
+		}
+		for _, fl := range flowNames {
+			fmt.Fprintf(f, ",%.6f", p.ROD[fl])
+		}
+		fmt.Fprintln(f)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

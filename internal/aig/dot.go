@@ -1,0 +1,47 @@
+package aig
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDot renders the AIG in Graphviz DOT format: AND nodes as circles,
+// primary inputs as boxes, primary outputs as inverted houses, and
+// complemented edges dashed — the visual convention of the paper's
+// Figure 1.
+func (g *AIG) WriteDot(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph aig {\n  rankdir=BT;\n  label=%q;\n", title); err != nil {
+		return err
+	}
+	for i := 0; i < g.numPIs; i++ {
+		name := g.PIName(i)
+		if name == "" {
+			name = fmt.Sprintf("x%d", i+1)
+		}
+		fmt.Fprintf(w, "  n%d [shape=box,label=%q];\n", i+1, name)
+	}
+	for id := g.numPIs + 1; id < g.NumObjs(); id++ {
+		fmt.Fprintf(w, "  n%d [shape=circle,label=\"%d\"];\n", id, id)
+		for _, f := range []Lit{g.fanin0[id], g.fanin1[id]} {
+			style := "solid"
+			if f.IsCompl() {
+				style = "dashed"
+			}
+			fmt.Fprintf(w, "  n%d -> n%d [style=%s,dir=none];\n", f.Node(), id, style)
+		}
+	}
+	for i, po := range g.pos {
+		name := g.POName(i)
+		if name == "" {
+			name = fmt.Sprintf("y%d", i+1)
+		}
+		fmt.Fprintf(w, "  o%d [shape=invhouse,label=%q];\n", i, name)
+		style := "solid"
+		if po.IsCompl() {
+			style = "dashed"
+		}
+		fmt.Fprintf(w, "  n%d -> o%d [style=%s,dir=none];\n", po.Node(), i, style)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

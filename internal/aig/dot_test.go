@@ -1,0 +1,27 @@
+package aig
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	g := New(2)
+	g.SetPIName(0, "a")
+	n := g.And(g.PI(0), g.PI(1).Not())
+	g.AddPO(n.Not())
+	g.SetPOName(0, "out")
+	var b strings.Builder
+	if err := g.WriteDot(&b, "test"); err != nil {
+		t.Fatal(err)
+	}
+	dot := b.String()
+	for _, want := range []string{"digraph aig", `label="test"`, `label="a"`, `label="out"`, "style=dashed", "shape=box", "shape=invhouse"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Error("DOT output not closed")
+	}
+}

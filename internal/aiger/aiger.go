@@ -1,0 +1,346 @@
+// Package aiger reads and writes combinational And-Inverter Graphs in the
+// AIGER format (http://fmv.jku.at/aiger/), both the ASCII variant ("aag")
+// and the compact binary variant ("aig"), including symbol tables and
+// comments. Latches are not supported: the paper's framework operates on
+// combinational logic only.
+package aiger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/aig"
+)
+
+// Read parses an AIGER stream, auto-detecting the ASCII or binary variant
+// from the header.
+func Read(r io.Reader) (*aig.AIG, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("aiger: reading header: %w", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 6 {
+		return nil, fmt.Errorf("aiger: malformed header %q", strings.TrimSpace(header))
+	}
+	nums := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		n, err := strconv.Atoi(fields[i+1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("aiger: bad header field %q", fields[i+1])
+		}
+		nums[i] = n
+	}
+	m, numIn, numLatch, numOut, numAnd := nums[0], nums[1], nums[2], nums[3], nums[4]
+	if numLatch != 0 {
+		return nil, fmt.Errorf("aiger: sequential AIGs (L=%d) are not supported", numLatch)
+	}
+	if m < numIn+numAnd {
+		return nil, fmt.Errorf("aiger: header M=%d smaller than I+A=%d", m, numIn+numAnd)
+	}
+	switch fields[0] {
+	case "aag":
+		return readASCII(br, numIn, numOut, numAnd)
+	case "aig":
+		return readBinary(br, numIn, numOut, numAnd)
+	default:
+		return nil, fmt.Errorf("aiger: unknown format tag %q", fields[0])
+	}
+}
+
+// ReadFile parses the AIGER file at path.
+func ReadFile(path string) (*aig.AIG, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// litMapper translates AIGER literals into aig literals, tolerating the
+// arbitrary variable numbering of ASCII files.
+type litMapper struct {
+	m map[int]aig.Lit
+}
+
+func (lm *litMapper) get(aigerLit int) (aig.Lit, error) {
+	v := aigerLit >> 1
+	if v == 0 {
+		return aig.LitFalse.NotCond(aigerLit&1 == 1), nil
+	}
+	l, ok := lm.m[v]
+	if !ok {
+		return 0, fmt.Errorf("aiger: literal %d references undefined variable %d", aigerLit, v)
+	}
+	return l.NotCond(aigerLit&1 == 1), nil
+}
+
+func readASCII(br *bufio.Reader, numIn, numOut, numAnd int) (*aig.AIG, error) {
+	g := aig.New(numIn)
+	lm := &litMapper{m: make(map[int]aig.Lit)}
+
+	readInts := func(want int) ([]int, error) {
+		line, err := br.ReadString('\n')
+		if err != nil && (err != io.EOF || line == "") {
+			return nil, err
+		}
+		fields := strings.Fields(line)
+		if len(fields) != want {
+			return nil, fmt.Errorf("aiger: line %q: want %d fields", strings.TrimSpace(line), want)
+		}
+		out := make([]int, want)
+		for i, f := range fields {
+			n, err := strconv.Atoi(f)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("aiger: bad literal %q", f)
+			}
+			out[i] = n
+		}
+		return out, nil
+	}
+
+	for i := 0; i < numIn; i++ {
+		v, err := readInts(1)
+		if err != nil {
+			return nil, err
+		}
+		if v[0]&1 == 1 || v[0] == 0 {
+			return nil, fmt.Errorf("aiger: invalid input literal %d", v[0])
+		}
+		lm.m[v[0]>>1] = g.PI(i)
+	}
+	outLits := make([]int, numOut)
+	for i := 0; i < numOut; i++ {
+		v, err := readInts(1)
+		if err != nil {
+			return nil, err
+		}
+		outLits[i] = v[0]
+	}
+	for i := 0; i < numAnd; i++ {
+		v, err := readInts(3)
+		if err != nil {
+			return nil, err
+		}
+		lhs, rhs0, rhs1 := v[0], v[1], v[2]
+		if lhs&1 == 1 {
+			return nil, fmt.Errorf("aiger: AND lhs %d is complemented", lhs)
+		}
+		a, err := lm.get(rhs0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := lm.get(rhs1)
+		if err != nil {
+			return nil, err
+		}
+		lm.m[lhs>>1] = g.And(a, b)
+	}
+	for _, ol := range outLits {
+		l, err := lm.get(ol)
+		if err != nil {
+			return nil, err
+		}
+		g.AddPO(l)
+	}
+	return g, readSymbols(br, g)
+}
+
+func readBinary(br *bufio.Reader, numIn, numOut, numAnd int) (*aig.AIG, error) {
+	g := aig.New(numIn)
+	lm := &litMapper{m: make(map[int]aig.Lit)}
+	for i := 0; i < numIn; i++ {
+		lm.m[i+1] = g.PI(i)
+	}
+	outLits := make([]int, numOut)
+	for i := range outLits {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("aiger: reading output %d: %w", i, err)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(line))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("aiger: bad output literal %q", strings.TrimSpace(line))
+		}
+		outLits[i] = n
+	}
+	readDelta := func() (uint64, error) {
+		var x uint64
+		var shift uint
+		for {
+			b, err := br.ReadByte()
+			if err != nil {
+				return 0, err
+			}
+			x |= uint64(b&0x7F) << shift
+			if b&0x80 == 0 {
+				return x, nil
+			}
+			shift += 7
+			if shift > 63 {
+				return 0, fmt.Errorf("aiger: delta overflow")
+			}
+		}
+	}
+	for i := 0; i < numAnd; i++ {
+		lhs := 2 * (numIn + 1 + i)
+		d0, err := readDelta()
+		if err != nil {
+			return nil, fmt.Errorf("aiger: AND %d delta0: %w", i, err)
+		}
+		d1, err := readDelta()
+		if err != nil {
+			return nil, fmt.Errorf("aiger: AND %d delta1: %w", i, err)
+		}
+		rhs0 := uint64(lhs) - d0
+		rhs1 := rhs0 - d1
+		a, err := lm.get(int(rhs0))
+		if err != nil {
+			return nil, err
+		}
+		b, err := lm.get(int(rhs1))
+		if err != nil {
+			return nil, err
+		}
+		lm.m[lhs>>1] = g.And(a, b)
+	}
+	for _, ol := range outLits {
+		l, err := lm.get(ol)
+		if err != nil {
+			return nil, err
+		}
+		g.AddPO(l)
+	}
+	return g, readSymbols(br, g)
+}
+
+// readSymbols parses the optional symbol table and comment section.
+func readSymbols(br *bufio.Reader, g *aig.AIG) error {
+	for {
+		line, err := br.ReadString('\n')
+		if line == "" && err != nil {
+			return nil // EOF: symbols are optional
+		}
+		line = strings.TrimRight(line, "\n")
+		if line == "c" {
+			return nil // comment section: ignore the rest
+		}
+		sp := strings.IndexByte(line, ' ')
+		if sp < 2 {
+			if err != nil {
+				return nil
+			}
+			continue
+		}
+		tag, name := line[:sp], line[sp+1:]
+		idx, convErr := strconv.Atoi(tag[1:])
+		if convErr != nil || idx < 0 {
+			continue
+		}
+		switch tag[0] {
+		case 'i':
+			if idx < g.NumPIs() {
+				g.SetPIName(idx, name)
+			}
+		case 'o':
+			if idx < g.NumPOs() {
+				g.SetPOName(idx, name)
+			}
+		}
+		if err != nil {
+			return nil
+		}
+	}
+}
+
+// WriteASCII writes g in the ASCII "aag" format, with symbols when present.
+func WriteASCII(w io.Writer, g *aig.AIG) error {
+	bw := bufio.NewWriter(w)
+	numIn, numOut, numAnd := g.NumPIs(), g.NumPOs(), g.NumAnds()
+	maxVar := numIn + numAnd
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", maxVar, numIn, numOut, numAnd)
+	for i := 0; i < numIn; i++ {
+		fmt.Fprintf(bw, "%d\n", 2*(i+1))
+	}
+	for i := 0; i < numOut; i++ {
+		fmt.Fprintf(bw, "%d\n", uint32(g.PO(i)))
+	}
+	for id := numIn + 1; id <= maxVar; id++ {
+		f0, f1 := g.Fanins(id)
+		// AIGER convention: rhs0 >= rhs1.
+		r0, r1 := uint32(f1), uint32(f0)
+		fmt.Fprintf(bw, "%d %d %d\n", 2*id, r0, r1)
+	}
+	writeSymbols(bw, g)
+	return bw.Flush()
+}
+
+// WriteBinary writes g in the compact binary "aig" format.
+func WriteBinary(w io.Writer, g *aig.AIG) error {
+	bw := bufio.NewWriter(w)
+	numIn, numOut, numAnd := g.NumPIs(), g.NumPOs(), g.NumAnds()
+	maxVar := numIn + numAnd
+	fmt.Fprintf(bw, "aig %d %d 0 %d %d\n", maxVar, numIn, numOut, numAnd)
+	for i := 0; i < numOut; i++ {
+		fmt.Fprintf(bw, "%d\n", uint32(g.PO(i)))
+	}
+	writeDelta := func(x uint64) {
+		for {
+			b := byte(x & 0x7F)
+			x >>= 7
+			if x != 0 {
+				b |= 0x80
+			}
+			bw.WriteByte(b)
+			if x == 0 {
+				return
+			}
+		}
+	}
+	for id := numIn + 1; id <= maxVar; id++ {
+		f0, f1 := g.Fanins(id)
+		r0, r1 := uint64(f1), uint64(f0) // rhs0 >= rhs1
+		lhs := uint64(2 * id)
+		writeDelta(lhs - r0)
+		writeDelta(r0 - r1)
+	}
+	writeSymbols(bw, g)
+	return bw.Flush()
+}
+
+func writeSymbols(bw *bufio.Writer, g *aig.AIG) {
+	for i := 0; i < g.NumPIs(); i++ {
+		if name := g.PIName(i); name != "" {
+			fmt.Fprintf(bw, "i%d %s\n", i, name)
+		}
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		if name := g.POName(i); name != "" {
+			fmt.Fprintf(bw, "o%d %s\n", i, name)
+		}
+	}
+}
+
+// WriteFile writes g to path, choosing the binary format for a ".aig"
+// suffix and ASCII otherwise.
+func WriteFile(path string, g *aig.AIG) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".aig") {
+		return WriteBinary(f, g)
+	}
+	return WriteASCII(f, g)
+}

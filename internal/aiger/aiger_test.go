@@ -1,0 +1,183 @@
+package aiger
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/aig"
+)
+
+func buildSample() *aig.AIG {
+	g := aig.New(3)
+	x1, x2, x3 := g.PI(0), g.PI(1), g.PI(2)
+	sum := g.Xor(g.Xor(x1, x2), x3)
+	carry := g.Maj3(x1, x2, x3)
+	g.AddPO(carry)
+	g.AddPO(sum)
+	g.SetPIName(0, "x1")
+	g.SetPIName(1, "x2")
+	g.SetPIName(2, "x3")
+	g.SetPOName(0, "carry")
+	g.SetPOName(1, "sum")
+	return g
+}
+
+func roundTrip(t *testing.T, g *aig.AIG, write func(*bytes.Buffer, *aig.AIG) error) *aig.AIG {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := write(&buf, g); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return got
+}
+
+func TestASCIIRoundTrip(t *testing.T) {
+	g := buildSample()
+	got := roundTrip(t, g, func(b *bytes.Buffer, g *aig.AIG) error { return WriteASCII(b, g) })
+	if idx, err := aig.Equivalent(g, got); err != nil || idx != -1 {
+		t.Errorf("ASCII round trip broke function: idx=%d err=%v", idx, err)
+	}
+	if got.PIName(0) != "x1" || got.POName(1) != "sum" {
+		t.Error("symbols lost in ASCII round trip")
+	}
+	if got.NumAnds() != g.NumAnds() {
+		t.Errorf("node count changed: %d -> %d", g.NumAnds(), got.NumAnds())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := buildSample()
+	got := roundTrip(t, g, func(b *bytes.Buffer, g *aig.AIG) error { return WriteBinary(b, g) })
+	if idx, err := aig.Equivalent(g, got); err != nil || idx != -1 {
+		t.Errorf("binary round trip broke function: idx=%d err=%v", idx, err)
+	}
+	if got.NumAnds() != g.NumAnds() {
+		t.Errorf("node count changed: %d -> %d", g.NumAnds(), got.NumAnds())
+	}
+}
+
+func TestRandomRoundTrips(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		pis := 2 + r.Intn(8)
+		g := aig.New(pis)
+		lits := make([]aig.Lit, 0, 64)
+		for i := 0; i < pis; i++ {
+			lits = append(lits, g.PI(i))
+		}
+		for k := 0; k < 30; k++ {
+			a := lits[r.Intn(len(lits))].NotCond(r.Intn(2) == 1)
+			b := lits[r.Intn(len(lits))].NotCond(r.Intn(2) == 1)
+			lits = append(lits, g.And(a, b))
+		}
+		for k := 0; k < 3; k++ {
+			g.AddPO(lits[r.Intn(len(lits))].NotCond(r.Intn(2) == 1))
+		}
+		gc := g.Cleanup()
+		for name, write := range map[string]func(*bytes.Buffer, *aig.AIG) error{
+			"ascii":  func(b *bytes.Buffer, g *aig.AIG) error { return WriteASCII(b, g) },
+			"binary": func(b *bytes.Buffer, g *aig.AIG) error { return WriteBinary(b, g) },
+		} {
+			got := roundTrip(t, gc, write)
+			if idx, err := aig.Equivalent(gc, got); err != nil || idx != -1 {
+				t.Fatalf("trial %d %s: round trip broke output %d (%v)", trial, name, idx, err)
+			}
+		}
+	}
+}
+
+func TestReadConstOutputs(t *testing.T) {
+	src := "aag 0 0 0 2 0\n0\n1\n"
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPOs() != 2 || g.PO(0) != aig.LitFalse || g.PO(1) != aig.LitTrue {
+		t.Errorf("const outputs wrong: %v %v", g.PO(0), g.PO(1))
+	}
+}
+
+func TestReadKnownASCII(t *testing.T) {
+	// The canonical AIGER and-gate example: o = i0 AND i1.
+	src := "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\ni0 a\ni1 b\no0 out\nc\nignored comment\n"
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPIs() != 2 || g.NumPOs() != 1 || g.NumAnds() != 1 {
+		t.Fatalf("shape wrong: %v", g.Stat())
+	}
+	if g.PIName(0) != "a" || g.PIName(1) != "b" || g.POName(0) != "out" {
+		t.Error("symbols wrong")
+	}
+	out := g.Eval(0b11)
+	if !out[0] {
+		t.Error("AND(1,1) != 1")
+	}
+	if g.Eval(0b01)[0] {
+		t.Error("AND(1,0) != 0")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad tag":       "xyz 1 1 0 1 0\n",
+		"short header":  "aag 1 1\n",
+		"latches":       "aag 2 1 1 0 0\n2\n4 2\n",
+		"neg field":     "aag -1 0 0 0 0\n",
+		"undef var":     "aag 2 1 0 1 0\n2\n99\n",
+		"odd and lhs":   "aag 3 2 0 1 1\n2\n4\n7\n7 2 4\n",
+		"bad m":         "aag 0 2 0 0 0\n2\n4\n",
+		"bad literal":   "aag 1 1 0 1 0\n2\nxyz\n",
+		"missing lines": "aag 3 2 0 1 1\n2\n4\n6\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestBinaryDeltaEncoding(t *testing.T) {
+	// A chain long enough to need multi-byte deltas.
+	g := aig.New(2)
+	l := g.And(g.PI(0), g.PI(1))
+	for i := 0; i < 300; i++ {
+		l = g.And(l, g.PI(i%2).NotCond(i%3 == 0))
+	}
+	g.AddPO(l)
+	gc := g.Cleanup()
+	got := roundTrip(t, gc, func(b *bytes.Buffer, g *aig.AIG) error { return WriteBinary(b, g) })
+	if idx, err := aig.Equivalent(gc, got); err != nil || idx != -1 {
+		t.Errorf("long chain binary round trip failed: idx=%d err=%v", idx, err)
+	}
+}
+
+func TestWriteFileExtensions(t *testing.T) {
+	dir := t.TempDir()
+	g := buildSample()
+	for _, name := range []string{"fa.aag", "fa.aig"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, g); err != nil {
+			t.Fatalf("WriteFile(%s): %v", name, err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("ReadFile(%s): %v", name, err)
+		}
+		if idx, _ := aig.Equivalent(g, got); idx != -1 {
+			t.Errorf("%s: file round trip broke output %d", name, idx)
+		}
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.aag")); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,53 @@
+package aiger
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/aig"
+)
+
+// TestQuickRoundTrip drives randomized AIG construction through both
+// formats with testing/quick: every generated graph must survive a write
+// and read with its functions intact.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, binary bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		pis := 1 + r.Intn(6)
+		g := aig.New(pis)
+		lits := make([]aig.Lit, 0, 40)
+		for i := 0; i < pis; i++ {
+			lits = append(lits, g.PI(i))
+		}
+		for k := 0; k < 5+r.Intn(25); k++ {
+			a := lits[r.Intn(len(lits))].NotCond(r.Intn(2) == 1)
+			b := lits[r.Intn(len(lits))].NotCond(r.Intn(2) == 1)
+			lits = append(lits, g.And(a, b))
+		}
+		for k := 0; k <= r.Intn(3); k++ {
+			g.AddPO(lits[r.Intn(len(lits))].NotCond(r.Intn(2) == 1))
+		}
+		gc := g.Cleanup()
+		var buf bytes.Buffer
+		var err error
+		if binary {
+			err = WriteBinary(&buf, gc)
+		} else {
+			err = WriteASCII(&buf, gc)
+		}
+		if err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		idx, err := aig.Equivalent(gc, back)
+		return err == nil && idx == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

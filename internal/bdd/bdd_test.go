@@ -1,0 +1,191 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tt"
+)
+
+func TestTerminalsAndVar(t *testing.T) {
+	m := NewManager(3)
+	x := m.Var(1)
+	if m.Level(x) != 1 || m.Low(x) != False || m.High(x) != True {
+		t.Error("Var structure wrong")
+	}
+	if m.Var(1) != x {
+		t.Error("unique table not shared")
+	}
+	if m.NodeCount(x) != 1 {
+		t.Errorf("NodeCount(var) = %d", m.NodeCount(x))
+	}
+	if m.NodeCount(False) != 0 || m.NodeCount(True) != 0 {
+		t.Error("terminal node counts wrong")
+	}
+}
+
+func TestITEAgainstTT(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + trial%4
+		m := NewManager(n)
+		f, g, h := tt.Random(n, r), tt.Random(n, r), tt.Random(n, r)
+		bf, bg, bh := m.FromTT(f), m.FromTT(g), m.FromTT(h)
+		got := m.ToTT(m.ITE(bf, bg, bh))
+		want := f.And(g).Or(f.Not().And(h))
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: ITE mismatch", trial)
+		}
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	n := 5
+	m := NewManager(n)
+	f, g := tt.Random(n, r), tt.Random(n, r)
+	bf, bg := m.FromTT(f), m.FromTT(g)
+	if !m.ToTT(m.And(bf, bg)).Equal(f.And(g)) {
+		t.Error("And wrong")
+	}
+	if !m.ToTT(m.Or(bf, bg)).Equal(f.Or(g)) {
+		t.Error("Or wrong")
+	}
+	if !m.ToTT(m.Xor(bf, bg)).Equal(f.Xor(g)) {
+		t.Error("Xor wrong")
+	}
+	if !m.ToTT(m.Not(bf)).Equal(f.Not()) {
+		t.Error("Not wrong")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	// The same function built two different ways must be the same node.
+	m := NewManager(4)
+	a, b := m.Var(0), m.Var(1)
+	lhs := m.Not(m.And(a, b))
+	rhs := m.Or(m.Not(a), m.Not(b))
+	if lhs != rhs {
+		t.Error("De Morgan forms are different nodes: BDD not canonical")
+	}
+}
+
+func TestFromTTRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(w uint64) bool {
+		fn := tt.FromWords(6, []uint64{w})
+		m := NewManager(6)
+		return m.ToTT(m.FromTT(fn)).Equal(fn)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRestrictQuantify(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	n := 6
+	m := NewManager(n)
+	f := tt.Random(n, r)
+	bf := m.FromTT(f)
+	for v := 0; v < n; v++ {
+		if !m.ToTT(m.Restrict(bf, v, false)).Equal(f.Cofactor(v, false)) {
+			t.Fatalf("Restrict(%d,0) wrong", v)
+		}
+		if !m.ToTT(m.Restrict(bf, v, true)).Equal(f.Cofactor(v, true)) {
+			t.Fatalf("Restrict(%d,1) wrong", v)
+		}
+		if !m.ToTT(m.Exists(bf, v)).Equal(f.Cofactor(v, false).Or(f.Cofactor(v, true))) {
+			t.Fatalf("Exists(%d) wrong", v)
+		}
+		if !m.ToTT(m.Forall(bf, v)).Equal(f.Cofactor(v, false).And(f.Cofactor(v, true))) {
+			t.Fatalf("Forall(%d) wrong", v)
+		}
+	}
+}
+
+func TestSatCountAndEval(t *testing.T) {
+	r := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + trial%6
+		f := tt.Random(n, r)
+		m := NewManager(n)
+		bf := m.FromTT(f)
+		if got, want := m.SatCount(bf), uint64(f.CountOnes()); got != want {
+			t.Fatalf("trial %d: SatCount = %d, want %d", trial, got, want)
+		}
+		for inp := 0; inp < 1<<n; inp++ {
+			if m.Eval(bf, uint64(inp)) != f.Bit(inp) {
+				t.Fatalf("trial %d: Eval(%d) wrong", trial, inp)
+			}
+		}
+	}
+}
+
+func TestOrderSensitivity(t *testing.T) {
+	// The classic order-sensitive function: x0*x1 + x2*x3 + x4*x5.
+	n := 6
+	f := tt.Var(0, n).And(tt.Var(1, n)).
+		Or(tt.Var(2, n).And(tt.Var(3, n))).
+		Or(tt.Var(4, n).And(tt.Var(5, n)))
+	good := BuildOrdered(f, []int{0, 1, 2, 3, 4, 5})
+	bad := BuildOrdered(f, []int{0, 2, 4, 1, 3, 5})
+	if good.Size() >= bad.Size() {
+		t.Errorf("pair order (%d nodes) should beat interleaved (%d nodes)", good.Size(), bad.Size())
+	}
+	// Both orders must still realize f.
+	for _, o := range []Ordered{good, bad} {
+		back := o.M.ToTT(o.Root)
+		// Undo the permutation: manager var i is original Order[i].
+		inv := make([]int, n)
+		for i, p := range o.Order {
+			inv[p] = i
+		}
+		if !back.Permute(inv).Equal(f) {
+			t.Error("ordered build does not realize the function")
+		}
+	}
+}
+
+func TestSiftOrderImproves(t *testing.T) {
+	n := 6
+	f := tt.Var(0, n).And(tt.Var(3, n)).
+		Or(tt.Var(1, n).And(tt.Var(4, n))).
+		Or(tt.Var(2, n).And(tt.Var(5, n)))
+	identity := []int{0, 1, 2, 3, 4, 5}
+	before := BuildOrdered(f, identity).Size()
+	order := SiftOrder(f, 3)
+	after := BuildOrdered(f, order).Size()
+	if after > before {
+		t.Errorf("sifting made things worse: %d -> %d", before, after)
+	}
+	if after >= before {
+		t.Logf("no improvement found (%d vs %d); function may already be optimal", after, before)
+	}
+	// Order must be a permutation.
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("SiftOrder returned invalid permutation %v", order)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSiftOrderPreservesFunction(t *testing.T) {
+	r := rand.New(rand.NewSource(65))
+	for trial := 0; trial < 5; trial++ {
+		n := 5 + trial%3
+		f := tt.Random(n, r)
+		order := SiftOrder(f, 2)
+		o := BuildOrdered(f, order)
+		inv := make([]int, n)
+		for i, p := range o.Order {
+			inv[p] = i
+		}
+		if !o.M.ToTT(o.Root).Permute(inv).Equal(f) {
+			t.Fatalf("trial %d: sifted BDD does not realize f", trial)
+		}
+	}
+}

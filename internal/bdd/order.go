@@ -1,0 +1,87 @@
+package bdd
+
+import "repro/internal/tt"
+
+// Ordered is a BDD built under an explicit variable order. Order[level]
+// gives the original truth-table variable tested at that level.
+type Ordered struct {
+	M     *Manager
+	Root  int32
+	Order []int
+}
+
+// BuildOrdered constructs the ROBDD of f with the given variable order.
+// The order is a permutation of 0..n-1; order[0] is tested first.
+func BuildOrdered(f tt.TT, order []int) Ordered {
+	// Permute f so that original variable order[i] becomes manager
+	// variable i; the identity-order build then realizes the order.
+	perm := append([]int(nil), order...)
+	pf := f.Permute(perm)
+	m := NewManager(f.NumVars())
+	root := m.FromTT(pf)
+	return Ordered{M: m, Root: root, Order: perm}
+}
+
+// Size returns the internal node count of the ordered BDD.
+func (o Ordered) Size() int { return o.M.NodeCount(o.Root) }
+
+// SiftOrder searches for a small-BDD variable order by rebuild-based
+// sifting: each variable in turn is tried at every position and left at
+// the best one. rounds bounds the number of full sifting sweeps.
+func SiftOrder(f tt.TT, rounds int) []int {
+	n := f.NumVars()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if n <= 1 {
+		return order
+	}
+	size := BuildOrdered(f, order).Size()
+	for round := 0; round < rounds; round++ {
+		improved := false
+		for v := 0; v < n; v++ {
+			// Current position of variable v.
+			pos := 0
+			for order[pos] != v {
+				pos++
+			}
+			bestPos, bestSize := pos, size
+			for target := 0; target < n; target++ {
+				if target == pos {
+					continue
+				}
+				cand := moveVar(order, pos, target)
+				if s := BuildOrdered(f, cand).Size(); s < bestSize {
+					bestPos, bestSize = target, s
+				}
+			}
+			if bestPos != pos {
+				order = moveVar(order, pos, bestPos)
+				size = bestSize
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return order
+}
+
+// moveVar returns a copy of order with the element at position from moved
+// to position to.
+func moveVar(order []int, from, to int) []int {
+	out := make([]int, 0, len(order))
+	v := order[from]
+	for i, x := range order {
+		if i == from {
+			continue
+		}
+		out = append(out, x)
+	}
+	out = append(out, 0)
+	copy(out[to+1:], out[to:])
+	out[to] = v
+	return out
+}

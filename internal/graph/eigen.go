@@ -1,0 +1,237 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// JacobiEigenvalues computes all eigenvalues of a dense symmetric matrix
+// by cyclic Jacobi rotations. Intended for small matrices (tests,
+// graphs of a few hundred nodes).
+func JacobiEigenvalues(a [][]float64) []float64 {
+	n := len(a)
+	// Work on a copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	for sweep := 0; sweep < 64; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-20 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+			}
+		}
+	}
+	eig := make([]float64, n)
+	for i := 0; i < n; i++ {
+		eig[i] = m[i][i]
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(eig)))
+	return eig
+}
+
+// AdjacencyMatrix returns the dense adjacency matrix of the graph.
+func (g *Graph) AdjacencyMatrix() [][]float64 {
+	m := make([][]float64, g.N)
+	for i := range m {
+		m[i] = make([]float64, g.N)
+	}
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.adj[u] {
+			m[u][v] = 1
+		}
+	}
+	return m
+}
+
+// matVec computes the adjacency-matrix product y = A x.
+func (g *Graph) matVec(x, y []float64) {
+	for u := 0; u < g.N; u++ {
+		s := 0.0
+		for _, v := range g.adj[u] {
+			s += x[v]
+		}
+		y[u] = s
+	}
+}
+
+// TopEigenvalues approximates the k largest-magnitude adjacency
+// eigenvalues using Lanczos iteration with full reorthogonalization,
+// returning them in descending algebraic order. For tiny graphs it falls
+// back to the exact dense solver.
+func (g *Graph) TopEigenvalues(k int, seed int64) []float64 {
+	n := g.N
+	if k > n {
+		k = n
+	}
+	if k == 0 || n == 0 {
+		return nil
+	}
+	if n <= 128 {
+		eig := JacobiEigenvalues(g.AdjacencyMatrix())
+		return topByMagnitude(eig, k)
+	}
+	steps := 8*k + 40
+	if steps > n {
+		steps = n
+	}
+	r := rand.New(rand.NewSource(seed))
+	// Lanczos vectors.
+	V := make([][]float64, 0, steps)
+	alpha := make([]float64, 0, steps)
+	beta := make([]float64, 0, steps) // beta[j] couples v_j and v_{j+1}
+
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	normalize(v)
+	w := make([]float64, n)
+	for j := 0; j < steps; j++ {
+		V = append(V, append([]float64(nil), v...))
+		g.matVec(v, w)
+		a := dot(w, v)
+		alpha = append(alpha, a)
+		// w = w - a*v - beta_{j-1}*v_{j-1}
+		for i := range w {
+			w[i] -= a * v[i]
+		}
+		if j > 0 {
+			b := beta[j-1]
+			prev := V[j-1]
+			for i := range w {
+				w[i] -= b * prev[i]
+			}
+		}
+		// Full reorthogonalization for numerical robustness.
+		for _, u := range V {
+			d := dot(w, u)
+			for i := range w {
+				w[i] -= d * u[i]
+			}
+		}
+		b := math.Sqrt(dot(w, w))
+		if b < 1e-12 {
+			break
+		}
+		beta = append(beta, b)
+		for i := range w {
+			v[i] = w[i] / b
+		}
+	}
+	eig := tridiagEigenvalues(alpha, beta[:len(alpha)-1])
+	return topByMagnitude(eig, k)
+}
+
+// topByMagnitude selects the k largest-|λ| eigenvalues and returns them
+// in descending algebraic order.
+func topByMagnitude(eig []float64, k int) []float64 {
+	s := append([]float64(nil), eig...)
+	sort.Slice(s, func(i, j int) bool { return math.Abs(s[i]) > math.Abs(s[j]) })
+	if k < len(s) {
+		s = s[:k]
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	return s
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func normalize(v []float64) {
+	n := math.Sqrt(dot(v, v))
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// tridiagEigenvalues computes all eigenvalues of a symmetric tridiagonal
+// matrix (diagonal d, off-diagonal e) with the implicit QL algorithm
+// (the classic tql1 routine).
+func tridiagEigenvalues(d, e []float64) []float64 {
+	n := len(d)
+	dd := append([]float64(nil), d...)
+	ee := make([]float64, n)
+	copy(ee, e)
+
+	for l := 0; l < n; l++ {
+		for iter := 0; iter < 50; iter++ {
+			// Find a small off-diagonal element to split at.
+			m := l
+			for ; m < n-1; m++ {
+				s := math.Abs(dd[m]) + math.Abs(dd[m+1])
+				if math.Abs(ee[m]) <= 1e-14*s {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := math.Hypot(g, 1)
+			g = dd[m] - dd[l] + ee[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = math.Hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					dd[i+1] -= p
+					ee[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(dd)))
+	return dd
+}

@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aig"
+)
+
+func triangle() *Graph {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	return g
+}
+
+func TestBasics(t *testing.T) {
+	g := triangle()
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	g.AddEdge(0, 1) // duplicate
+	g.AddEdge(1, 1) // self-loop
+	if g.NumEdges() != 3 {
+		t.Errorf("dup/self-loop changed edges: %d", g.NumEdges())
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("Degree(0) = %d", g.Degree(0))
+	}
+	edges := g.Edges()
+	if len(edges) != 3 || edges[0] != [2]int{0, 1} {
+		t.Errorf("Edges = %v", edges)
+	}
+}
+
+func TestClustering(t *testing.T) {
+	g := triangle()
+	for u := 0; u < 3; u++ {
+		if g.Clustering(u) != 1 {
+			t.Errorf("triangle clustering(%d) = %f", u, g.Clustering(u))
+		}
+	}
+	// Star: center clustering 0.
+	s := New(4)
+	s.AddEdge(0, 1)
+	s.AddEdge(0, 2)
+	s.AddEdge(0, 3)
+	if s.Clustering(0) != 0 {
+		t.Error("star center clustering should be 0")
+	}
+	if s.Clustering(1) != 0 {
+		t.Error("leaf clustering should be 0")
+	}
+}
+
+func TestEgonetStats(t *testing.T) {
+	// Path 0-1-2-3: ego(1) = {0,1,2}; edges within = 2 (01, 12);
+	// outgoing = 1 (2-3); outside neighbors = {3}.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	within, outgoing, outside := g.EgonetStats(1)
+	if within != 2 || outgoing != 1 || outside != 1 {
+		t.Errorf("EgonetStats(1) = %d,%d,%d", within, outgoing, outside)
+	}
+}
+
+func TestFromAIG(t *testing.T) {
+	a := aig.New(2)
+	n := a.And(a.PI(0), a.PI(1).Not())
+	a.AddPO(n)
+	g := FromAIG(a)
+	if g.N != a.NumObjs() {
+		t.Errorf("N = %d", g.N)
+	}
+	// Edges: node-PI0, node-PI1 (inversion dropped).
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Degree(n.Node()) != 2 {
+		t.Error("AND node degree wrong")
+	}
+}
+
+func TestNetSimileFeatures(t *testing.T) {
+	g := triangle()
+	f := g.NetSimileFeatures()
+	for u := 0; u < 3; u++ {
+		if f[0][u] != 2 || f[1][u] != 1 || f[2][u] != 2 || f[3][u] != 1 {
+			t.Errorf("node %d features: %v %v %v %v", u, f[0][u], f[1][u], f[2][u], f[3][u])
+		}
+		if f[4][u] != 3 || f[5][u] != 0 || f[6][u] != 0 {
+			t.Errorf("node %d egonet features: %v %v %v", u, f[4][u], f[5][u], f[6][u])
+		}
+	}
+}
+
+func TestJacobiKnownSpectra(t *testing.T) {
+	// Triangle (K3): eigenvalues 2, -1, -1.
+	eig := JacobiEigenvalues(triangle().AdjacencyMatrix())
+	want := []float64{2, -1, -1}
+	for i := range want {
+		if math.Abs(eig[i]-want[i]) > 1e-9 {
+			t.Errorf("K3 eig[%d] = %f, want %f", i, eig[i], want[i])
+		}
+	}
+	// Path P3: sqrt(2), 0, -sqrt(2).
+	p := New(3)
+	p.AddEdge(0, 1)
+	p.AddEdge(1, 2)
+	eig = JacobiEigenvalues(p.AdjacencyMatrix())
+	want = []float64{math.Sqrt2, 0, -math.Sqrt2}
+	for i := range want {
+		if math.Abs(eig[i]-want[i]) > 1e-9 {
+			t.Errorf("P3 eig[%d] = %f, want %f", i, eig[i], want[i])
+		}
+	}
+}
+
+func TestTridiagAgainstJacobi(t *testing.T) {
+	// Random symmetric tridiagonal matrix, both solvers must agree.
+	r := rand.New(rand.NewSource(121))
+	n := 12
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = r.NormFloat64()
+	}
+	for i := range e {
+		e[i] = r.NormFloat64()
+	}
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = d[i]
+	}
+	for i := range e {
+		m[i][i+1] = e[i]
+		m[i+1][i] = e[i]
+	}
+	got := tridiagEigenvalues(d, e)
+	want := JacobiEigenvalues(m)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("eig[%d]: tridiag %f vs jacobi %f", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLanczosAgainstJacobi(t *testing.T) {
+	// Random sparse graph big enough to trigger Lanczos (n > 128).
+	r := rand.New(rand.NewSource(122))
+	n := 200
+	g := New(n)
+	for i := 0; i < 3*n; i++ {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	k := 10
+	got := g.TopEigenvalues(k, 1)
+	want := topByMagnitude(JacobiEigenvalues(g.AdjacencyMatrix()), k)
+	if len(got) != k {
+		t.Fatalf("got %d eigenvalues", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6*math.Max(1, math.Abs(want[i])) {
+			t.Errorf("top eig[%d]: lanczos %f vs jacobi %f", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTopEigenvaluesSmallFallback(t *testing.T) {
+	g := triangle()
+	eig := g.TopEigenvalues(2, 1)
+	if len(eig) != 2 {
+		t.Fatalf("len = %d", len(eig))
+	}
+	if math.Abs(eig[0]-2) > 1e-9 || math.Abs(eig[1]+1) > 1e-9 {
+		t.Errorf("eig = %v", eig)
+	}
+	if got := g.TopEigenvalues(99, 1); len(got) != 3 {
+		t.Errorf("k>n should clamp: %v", got)
+	}
+	empty := New(0)
+	if got := empty.TopEigenvalues(3, 1); got != nil {
+		t.Error("empty graph should yield nil")
+	}
+}

@@ -1,0 +1,306 @@
+// Package harness drives the paper's end-to-end experiment: synthesize
+// every benchmark function with the seven recipes, profile every AIG,
+// optimize with the three high-effort flows, compute pairwise metrics and
+// the Relative Optimizability Difference, and correlate (Pearson + Fisher
+// CIs). Its outputs regenerate Table I, Table II, and Figure 3.
+package harness
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"repro/internal/opt"
+	"repro/internal/simil"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed drives workload generation and every randomized flow.
+	Seed int64
+	// MaxInputs filters the suite (default 10, mirroring the paper's
+	// scalability cut that kept 87 of 100 functions).
+	MaxInputs int
+	// MaxSpecs truncates the suite for quick runs (0 = all).
+	MaxSpecs int
+	// Recipes and Flows select subsets by name (nil = all).
+	Recipes []string
+	Flows   []string
+	// Progress, when non-nil, receives one line per processed spec.
+	Progress io.Writer
+	// Profile tunes metric profiling.
+	Profile simil.ProfileOptions
+}
+
+func (c Config) maxInputs() int {
+	if c.MaxInputs <= 0 {
+		return 10
+	}
+	return c.MaxInputs
+}
+
+func (c Config) recipeSet() []synth.Recipe {
+	all := synth.Recipes()
+	if c.Recipes == nil {
+		return all
+	}
+	var out []synth.Recipe
+	for _, name := range c.Recipes {
+		for _, r := range all {
+			if r.Name == name {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+func (c Config) flowSet() []opt.Flow {
+	all := opt.Flows()
+	if c.Flows == nil {
+		return all
+	}
+	var out []opt.Flow
+	for _, name := range c.Flows {
+		for _, f := range all {
+			if f.Name == name {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// Variant is one synthesized AIG of a spec with its profile and
+// per-flow optimized gate counts.
+type Variant struct {
+	Recipe    string
+	Gates     int
+	Levels    int
+	Profile   *simil.Profile
+	FlowGates map[string]int
+}
+
+// SpecRun holds all variants of one benchmark spec.
+type SpecRun struct {
+	Name     string
+	Category string
+	Inputs   int
+	Outputs  int
+	Variants []Variant
+}
+
+// PairSample is one (AIG, AIG) comparison: the paper's unit of analysis.
+type PairSample struct {
+	Spec    string
+	RecipeA string
+	RecipeB string
+	Metrics map[string]float64
+	ROD     map[string]float64
+	GatesA  int
+	GatesB  int
+}
+
+// Result is a full experiment outcome.
+type Result struct {
+	Config Config
+	Specs  []SpecRun
+	Pairs  []PairSample
+	// FlowNames and MetricNames record the evaluated axes in order.
+	FlowNames   []string
+	MetricNames []string
+}
+
+// specSeed derives a stable per-spec/per-flow seed.
+func specSeed(base int64, parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return base ^ int64(h.Sum64()&0x7FFFFFFFFFFFFFFF)
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (*Result, error) {
+	specs := workload.FilterByInputs(workload.Suite(cfg.Seed), cfg.maxInputs())
+	if cfg.MaxSpecs > 0 && len(specs) > cfg.MaxSpecs {
+		specs = specs[:cfg.MaxSpecs]
+	}
+	recipes := cfg.recipeSet()
+	flows := cfg.flowSet()
+	if len(recipes) < 2 {
+		return nil, fmt.Errorf("harness: need at least 2 recipes, have %d", len(recipes))
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("harness: no flows selected")
+	}
+
+	res := &Result{Config: cfg}
+	for _, f := range flows {
+		res.FlowNames = append(res.FlowNames, f.Name)
+	}
+	for _, m := range simil.Metrics() {
+		res.MetricNames = append(res.MetricNames, m.Name)
+	}
+
+	for si, spec := range specs {
+		run := SpecRun{
+			Name:     spec.Name,
+			Category: spec.Category,
+			Inputs:   spec.NumInputs(),
+			Outputs:  len(spec.Outputs),
+		}
+		for _, rec := range recipes {
+			g := rec.Build(spec.Outputs)
+			v := Variant{
+				Recipe:    rec.Name,
+				Gates:     g.NumAnds(),
+				Levels:    g.NumLevels(),
+				FlowGates: make(map[string]int, len(flows)),
+			}
+			popts := cfg.Profile
+			popts.Seed = specSeed(cfg.Seed, spec.Name, rec.Name)
+			v.Profile = simil.NewProfile(g, popts)
+			for _, flow := range flows {
+				og := flow.Run(g, specSeed(cfg.Seed, spec.Name, rec.Name, flow.Name))
+				v.FlowGates[flow.Name] = og.NumAnds()
+			}
+			run.Variants = append(run.Variants, v)
+		}
+		res.Specs = append(res.Specs, run)
+
+		// Pairwise samples.
+		for i := 0; i < len(run.Variants); i++ {
+			for j := i + 1; j < len(run.Variants); j++ {
+				a, b := run.Variants[i], run.Variants[j]
+				sample := PairSample{
+					Spec:    spec.Name,
+					RecipeA: a.Recipe,
+					RecipeB: b.Recipe,
+					Metrics: make(map[string]float64),
+					ROD:     make(map[string]float64, len(flows)),
+					GatesA:  a.Gates,
+					GatesB:  b.Gates,
+				}
+				for _, m := range simil.Metrics() {
+					sample.Metrics[m.Name] = m.Compute(a.Profile, b.Profile)
+				}
+				for _, flow := range flows {
+					sample.ROD[flow.Name] = simil.ROD(a.FlowGates[flow.Name], b.FlowGates[flow.Name])
+				}
+				res.Pairs = append(res.Pairs, sample)
+			}
+		}
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "[%3d/%3d] %-22s in=%2d out=%2d pairs=%d\n",
+				si+1, len(specs), spec.Name, spec.NumInputs(), len(spec.Outputs), len(res.Pairs))
+		}
+	}
+	return res, nil
+}
+
+// Correlation computes the Pearson correlation (with 95% Fisher CI)
+// between a metric and the ROD under a flow across all pairs.
+func (r *Result) Correlation(metric, flow string) (stats.Correlation, error) {
+	var xs, ys []float64
+	for _, p := range r.Pairs {
+		m, ok1 := p.Metrics[metric]
+		rod, ok2 := p.ROD[flow]
+		if !ok1 || !ok2 {
+			continue
+		}
+		xs = append(xs, m)
+		ys = append(ys, rod)
+	}
+	if len(xs) == 0 {
+		return stats.Correlation{}, fmt.Errorf("harness: no samples for %s/%s", metric, flow)
+	}
+	return stats.PearsonCI(xs, ys, 0.95)
+}
+
+// Scatter returns the (metric, ROD) sample series for a metric/flow —
+// the data behind Figure 3 — together with the least-squares trendline.
+func (r *Result) Scatter(metric, flow string) (xs, ys []float64, line stats.Line, err error) {
+	for _, p := range r.Pairs {
+		xs = append(xs, p.Metrics[metric])
+		ys = append(ys, p.ROD[flow])
+	}
+	line, err = stats.LinearFit(xs, ys)
+	return xs, ys, line, err
+}
+
+// CorrelationByCategory computes the metric/flow Pearson correlation
+// separately within each workload category, revealing where a metric's
+// predictive power comes from (e.g. size-type metrics thrive on
+// categories with wide synthesis spreads).
+func (r *Result) CorrelationByCategory(metric, flow string) map[string]stats.Correlation {
+	catOf := make(map[string]string, len(r.Specs))
+	for _, s := range r.Specs {
+		catOf[s.Name] = s.Category
+	}
+	xs := map[string][]float64{}
+	ys := map[string][]float64{}
+	for _, p := range r.Pairs {
+		c := catOf[p.Spec]
+		xs[c] = append(xs[c], p.Metrics[metric])
+		ys[c] = append(ys[c], p.ROD[flow])
+	}
+	out := make(map[string]stats.Correlation, len(xs))
+	for c := range xs {
+		if corr, err := stats.PearsonCI(xs[c], ys[c], 0.95); err == nil {
+			out[c] = corr
+		}
+	}
+	return out
+}
+
+// CategoryTable renders per-category correlations for a metric/flow.
+func (r *Result) CategoryTable(metric, flow string) string {
+	byCat := r.CorrelationByCategory(metric, flow)
+	cats := make([]string, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	out := fmt.Sprintf("%s vs ROD (%s) by category\n", metric, flow)
+	for _, c := range cats {
+		corr := byCat[c]
+		out += fmt.Sprintf("  %-12s r = %6.2f  [%5.2f, %5.2f]  (n=%d)\n", c, corr.R, corr.Low, corr.High, corr.N)
+	}
+	return out
+}
+
+// CategorySummary aggregates average synthesis sizes per category —
+// useful for the experiment report.
+func (r *Result) CategorySummary() string {
+	type acc struct {
+		n     int
+		gates int
+	}
+	byCat := map[string]*acc{}
+	var cats []string
+	for _, s := range r.Specs {
+		a := byCat[s.Category]
+		if a == nil {
+			a = &acc{}
+			byCat[s.Category] = a
+			cats = append(cats, s.Category)
+		}
+		for _, v := range s.Variants {
+			a.n++
+			a.gates += v.Gates
+		}
+	}
+	sort.Strings(cats)
+	out := "category        AIGs  avg-gates\n"
+	for _, c := range cats {
+		a := byCat[c]
+		out += fmt.Sprintf("%-14s %5d %10.1f\n", c, a.n, float64(a.gates)/float64(a.n))
+	}
+	return out
+}

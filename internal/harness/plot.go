@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiScatter renders an (x, y) point cloud as a terminal-friendly
+// density plot: digits give per-cell point counts (9 caps the display),
+// with axis extents in the margins. Used by cmd/repro to make the
+// Figure 3 scatter inspectable without external tooling.
+func AsciiScatter(xs, ys []float64, width, height int, xlabel, ylabel string) string {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return "(no data)\n"
+	}
+	if width < 10 {
+		width = 60
+	}
+	if height < 5 {
+		height = 20
+	}
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]int, height)
+	for i := range grid {
+		grid[i] = make([]int, width)
+	}
+	for i := range xs {
+		cx := int(float64(width-1) * (xs[i] - minX) / (maxX - minX))
+		cy := int(float64(height-1) * (ys[i] - minY) / (maxY - minY))
+		grid[height-1-cy][cx]++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (vertical) vs %s (horizontal), %d points\n", ylabel, xlabel, len(xs))
+	for r, row := range grid {
+		if r == 0 {
+			fmt.Fprintf(&b, "%8.3f |", maxY)
+		} else if r == len(grid)-1 {
+			fmt.Fprintf(&b, "%8.3f |", minY)
+		} else {
+			b.WriteString("         |")
+		}
+		for _, c := range row {
+			switch {
+			case c == 0:
+				b.WriteByte(' ')
+			case c > 9:
+				b.WriteByte('#')
+			default:
+				b.WriteByte(byte('0' + c))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("         +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "          %-8.3f%s%8.3f\n", minX, strings.Repeat(" ", width-16), maxX)
+	return b.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Figure3Plot renders the Figure 3 scatter as an ASCII density plot.
+func (r *Result) Figure3Plot() string {
+	xs, ys, _, _ := r.Scatter("ResubScore", "orchestrate")
+	return AsciiScatter(xs, ys, 64, 20, "Resub Score", "ROD")
+}

@@ -1,0 +1,178 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/aig"
+	"repro/internal/lutmap"
+)
+
+// Flow is a named high-effort optimization flow. Seed feeds any
+// randomized components (only DeepSyn uses it).
+type Flow struct {
+	Name        string
+	Description string
+	Run         func(g *aig.AIG, seed int64) *aig.AIG
+}
+
+// Flows returns the paper's three high-effort flows in canonical order.
+func Flows() []Flow {
+	return []Flow{
+		{"orchestrate", "per-round best of rewrite/refactor/resub to convergence", func(g *aig.AIG, _ int64) *aig.AIG { return Orchestrate(g, 24) }},
+		{"dc2", "the classic balance/rewrite/refactor script, iterated to convergence", func(g *aig.AIG, _ int64) *aig.AIG { return DC2Converge(g) }},
+		{"deepsyn", "randomized flow search with LUT-mapping shake-ups (T=10)", func(g *aig.AIG, seed int64) *aig.AIG { return DeepSyn(g, DeepSynOptions{Effort: 10, Seed: seed}) }},
+	}
+}
+
+// RunFlow executes the named flow.
+func RunFlow(name string, g *aig.AIG, seed int64) (*aig.AIG, error) {
+	for _, f := range Flows() {
+		if f.Name == name {
+			return f.Run(g, seed), nil
+		}
+	}
+	return nil, fmt.Errorf("opt: unknown flow %q", name)
+}
+
+// Orchestrate reproduces the orchestration idea of Li et al. (TCAD'24) at
+// pass granularity: each round tries resubstitution first (the operator
+// the paper reports orchestration favoring heavily), then rewriting and
+// refactoring, and commits the round's best reduction, so the operator
+// mix adapts to the circuit. Rounds stop at convergence or after
+// maxRounds.
+func Orchestrate(g *aig.AIG, maxRounds int) *aig.AIG {
+	cur := g
+	for round := 0; round < maxRounds; round++ {
+		// Resubstitution gets the first shot and is kept whenever it
+		// makes progress; the structural operators compete otherwise.
+		rs := ResubOnce(cur, ResubOptions{MaxDivisors: 150})
+		if rs.NumAnds() < cur.NumAnds() {
+			cur = rs
+			continue
+		}
+		candidates := []*aig.AIG{
+			RewriteOnce(cur, RewriteOptions{}),
+			RefactorOnce(cur, RefactorOptions{}),
+		}
+		best := cur
+		for _, c := range candidates {
+			if c.NumAnds() < best.NumAnds() {
+				best = c
+			}
+		}
+		if best == cur {
+			// Plateau: reshape with balancing and zero-cost rewriting to
+			// expose new cuts; if still stuck, escape the local minimum
+			// with a LUT map/resynthesis round trip before giving up.
+			shaken := ResubOnce(RewriteOnce(Balance(cur), RewriteOptions{ZeroCost: true}), ResubOptions{})
+			shaken = RefactorOnce(shaken, RefactorOptions{})
+			if shaken.NumAnds() < cur.NumAnds() {
+				cur = shaken
+				continue
+			}
+			escaped := DC2(lutmap.RoundTrip(cur, lutmap.Options{K: 6}))
+			if escaped.NumAnds() < cur.NumAnds() {
+				cur = escaped
+				continue
+			}
+			return cur
+		}
+		cur = best
+	}
+	return cur
+}
+
+// DC2Converge iterates the dc2 script until the AND count stops
+// improving — the "high-effort" usage of dc2 in practice.
+func DC2Converge(g *aig.AIG) *aig.AIG {
+	cur := g
+	for i := 0; i < 8; i++ {
+		next := DC2(cur)
+		if next.NumAnds() >= cur.NumAnds() {
+			return cur
+		}
+		cur = next
+	}
+	return cur
+}
+
+// DC2 runs the classic ABC dc2 script: b; rw; rf; b; rw; rwz; b; rfz;
+// rwz; b.
+func DC2(g *aig.AIG) *aig.AIG {
+	cur := Balance(g)
+	cur = RewriteOnce(cur, RewriteOptions{})
+	cur = RefactorOnce(cur, RefactorOptions{})
+	cur = Balance(cur)
+	cur = RewriteOnce(cur, RewriteOptions{})
+	cur = RewriteOnce(cur, RewriteOptions{ZeroCost: true})
+	cur = Balance(cur)
+	cur = RefactorOnce(cur, RefactorOptions{ZeroCost: true})
+	cur = RewriteOnce(cur, RewriteOptions{ZeroCost: true})
+	cur = Balance(cur)
+	return keepSmaller(g, cur, true)
+}
+
+// DeepSynOptions tunes the randomized DeepSyn flow.
+type DeepSynOptions struct {
+	// Effort is the iteration budget (the paper's -T 10 analogue).
+	Effort int
+	// Seed drives move selection.
+	Seed int64
+}
+
+// DeepSyn emulates &deepsyn: a randomized on-the-fly search over
+// transformation sequences. Each iteration applies a randomly chosen move
+// — a dc2 round, a k-LUT map/resynthesis round trip (the broad
+// restructuring move), or operator combinations — keeping the best AIG
+// seen and restarting from it when the working copy drifts too far.
+func DeepSyn(g *aig.AIG, opts DeepSynOptions) *aig.AIG {
+	effort := opts.Effort
+	if effort <= 0 {
+		effort = 10
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+	best := g
+	cur := g
+	moves := []func(*aig.AIG) *aig.AIG{
+		func(a *aig.AIG) *aig.AIG { return DC2(a) },
+		func(a *aig.AIG) *aig.AIG { return lutmap.RoundTrip(a, lutmap.Options{K: 4}) },
+		func(a *aig.AIG) *aig.AIG { return lutmap.RoundTrip(a, lutmap.Options{K: 6}) },
+		func(a *aig.AIG) *aig.AIG {
+			return ResubOnce(RewriteOnce(a, RewriteOptions{ZeroCost: true}), ResubOptions{})
+		},
+		func(a *aig.AIG) *aig.AIG {
+			return RefactorOnce(ResubOnce(a, ResubOptions{ZeroCost: true}), RefactorOptions{})
+		},
+		func(a *aig.AIG) *aig.AIG { return Balance(RewriteOnce(a, RewriteOptions{})) },
+	}
+	for i := 0; i < effort; i++ {
+		move := moves[r.Intn(len(moves))]
+		cur = move(cur)
+		if cur.NumAnds() < best.NumAnds() {
+			best = cur
+		}
+		// Restart from the best when the working copy has drifted.
+		if float64(cur.NumAnds()) > 1.25*float64(best.NumAnds())+4 {
+			cur = best
+		}
+	}
+	return best
+}
+
+// CompressToConvergence interleaves all operators until no further
+// reduction is found — a convenience "max effort" flow exposed by the
+// library beyond the paper's three.
+func CompressToConvergence(g *aig.AIG) *aig.AIG {
+	cur := g
+	for i := 0; i < 32; i++ {
+		next := DC2(cur)
+		next = ResubOnce(next, ResubOptions{})
+		next = RefactorOnce(next, RefactorOptions{})
+		if next.NumAnds() >= cur.NumAnds() {
+			return cur
+		}
+		cur = next
+	}
+	return cur
+}

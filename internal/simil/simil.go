@@ -1,0 +1,344 @@
+// Package simil implements the paper's AIG dissimilarity framework: the
+// four traditional graph similarity measures adapted to AIGs (Vertex-Edge
+// Overlap, NetSimile, Weisfeiler-Lehman kernel, Adjacency Spectral
+// Distance), the proposed AIG-specific metrics (Relative Gate Count,
+// Relative Level Count, the Rewrite/Refactor/Resub Scores, and the RRR
+// Score), and the post-optimization Relative Optimizability Difference
+// benchmark (Eq. 1).
+package simil
+
+import (
+	"math"
+
+	"repro/internal/aig"
+	"repro/internal/graph"
+	"repro/internal/opt"
+	"repro/internal/stats"
+)
+
+// Profile holds per-AIG precomputations so that pairwise metric
+// evaluation over many pairs stays cheap: each artifact is computed once
+// per AIG, not once per pair.
+type Profile struct {
+	A      *aig.AIG
+	Gates  int
+	Levels int
+
+	// Traditional-metric artifacts over the undirected skeleton.
+	vertices map[int]bool
+	edges    map[[2]int]bool
+	features [35]float64 // NetSimile signature: 7 features x 5 aggregates
+	wlHist   map[string]int
+	spectrum []float64
+
+	// Single-step optimization reductions (rewrite, refactor, resub),
+	// the r_i(A) of Eq. 3/4.
+	reductions [3]float64
+}
+
+// ProfileOptions tunes profile construction.
+type ProfileOptions struct {
+	// SpectrumK is the number of adjacency eigenvalues kept for the
+	// spectral distance (default 20, as a practical NetComp-style k).
+	SpectrumK int
+	// WLIterations is the number of Weisfeiler-Lehman refinements
+	// (default 3).
+	WLIterations int
+	// SkipOptScores skips the three single-step optimization runs (for
+	// callers that only need the traditional metrics).
+	SkipOptScores bool
+	// Seed feeds the Lanczos starting vector.
+	Seed int64
+}
+
+func (o ProfileOptions) spectrumK() int {
+	if o.SpectrumK <= 0 {
+		return 20
+	}
+	return o.SpectrumK
+}
+
+func (o ProfileOptions) wlIterations() int {
+	if o.WLIterations <= 0 {
+		return 3
+	}
+	return o.WLIterations
+}
+
+// NewProfile computes all metric artifacts for one AIG.
+func NewProfile(a *aig.AIG, opts ProfileOptions) *Profile {
+	p := &Profile{A: a, Gates: a.NumAnds(), Levels: a.NumLevels()}
+	und := graph.FromAIG(a)
+
+	// Vertex and edge sets under the consistent node numbering.
+	p.vertices = make(map[int]bool)
+	p.edges = make(map[[2]int]bool)
+	for id := 1; id < a.NumObjs(); id++ {
+		p.vertices[id] = true
+	}
+	for _, e := range und.Edges() {
+		p.edges[e] = true
+	}
+
+	// NetSimile signature.
+	feats := und.NetSimileFeatures()
+	for fi := 0; fi < 7; fi++ {
+		agg := stats.Aggregate(feats[fi][1:]) // node 0 (constant) excluded
+		copy(p.features[fi*5:fi*5+5], agg[:])
+	}
+
+	// Weisfeiler-Lehman label histogram.
+	p.wlHist = wlHistogram(und, opts.wlIterations())
+
+	// Adjacency spectrum.
+	p.spectrum = und.TopEigenvalues(opts.spectrumK(), opts.Seed+1)
+
+	if !opts.SkipOptScores {
+		p.reductions = OptReductions(a)
+	}
+	return p
+}
+
+// OptReductions computes the single-step reduction ratios
+// (G(A)-G(A^opt))/G(A) for rewriting, refactoring, and resubstitution —
+// the building blocks of the paper's Eq. 3 and Eq. 4.
+func OptReductions(a *aig.AIG) [3]float64 {
+	g := float64(a.NumAnds())
+	if g == 0 {
+		return [3]float64{}
+	}
+	rw := opt.RewriteOnce(a, opt.RewriteOptions{})
+	rf := opt.RefactorOnce(a, opt.RefactorOptions{})
+	rs := opt.ResubOnce(a, opt.ResubOptions{})
+	return [3]float64{
+		(g - float64(rw.NumAnds())) / g,
+		(g - float64(rf.NumAnds())) / g,
+		(g - float64(rs.NumAnds())) / g,
+	}
+}
+
+// Reductions exposes the profile's single-step reduction vector.
+func (p *Profile) Reductions() [3]float64 { return p.reductions }
+
+// --- Traditional measures (Section IV-A) -------------------------------
+
+// VEO computes the Vertex-Edge Overlap similarity (Papadimitriou et al.):
+// 2*(|V∩V'| + |E∩E'|) / (|V|+|V'|+|E|+|E'|). 1 means identical, 0 fully
+// disjoint. Higher = more similar.
+func VEO(p1, p2 *Profile) float64 {
+	sharedV := 0
+	for v := range p1.vertices {
+		if p2.vertices[v] {
+			sharedV++
+		}
+	}
+	sharedE := 0
+	for e := range p1.edges {
+		if p2.edges[e] {
+			sharedE++
+		}
+	}
+	den := len(p1.vertices) + len(p2.vertices) + len(p1.edges) + len(p2.edges)
+	if den == 0 {
+		return 1
+	}
+	return 2 * float64(sharedV+sharedE) / float64(den)
+}
+
+// NetSimile computes the Canberra distance between the two graphs'
+// 35-dimensional NetSimile signatures. Higher = more different.
+func NetSimile(p1, p2 *Profile) float64 {
+	return stats.Canberra(p1.features[:], p2.features[:])
+}
+
+// WLKernel computes the normalized Weisfeiler-Lehman subtree kernel:
+// the dot product of label histograms accumulated over the refinement
+// iterations, normalized so identical graphs score 1. Higher = more
+// similar.
+func WLKernel(p1, p2 *Profile) float64 {
+	dot := func(a, b map[string]int) float64 {
+		s := 0.0
+		for l, c := range a {
+			if c2, ok := b[l]; ok {
+				s += float64(c) * float64(c2)
+			}
+		}
+		return s
+	}
+	k12 := dot(p1.wlHist, p2.wlHist)
+	k11 := dot(p1.wlHist, p1.wlHist)
+	k22 := dot(p2.wlHist, p2.wlHist)
+	if k11 == 0 || k22 == 0 {
+		return 0
+	}
+	return k12 / math.Sqrt(k11*k22)
+}
+
+// ASD computes the Adjacency Spectral Distance: the Euclidean distance
+// between the top-k adjacency eigenvalues (shorter spectra are
+// zero-padded). Higher = more different.
+func ASD(p1, p2 *Profile) float64 {
+	n := len(p1.spectrum)
+	if len(p2.spectrum) > n {
+		n = len(p2.spectrum)
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	copy(a, p1.spectrum)
+	copy(b, p2.spectrum)
+	return stats.Euclidean(a, b)
+}
+
+// wlHistogram runs Weisfeiler-Lehman label refinement and accumulates
+// label counts across iterations (iteration 0 uses degrees as labels).
+func wlHistogram(g *graph.Graph, iterations int) map[string]int {
+	hist := make(map[string]int)
+	labels := make([]string, g.N)
+	for u := 0; u < g.N; u++ {
+		labels[u] = itoa(g.Degree(u))
+		hist["0:"+labels[u]]++
+	}
+	for it := 1; it <= iterations; it++ {
+		next := make([]string, g.N)
+		for u := 0; u < g.N; u++ {
+			nb := g.Neighbors(u)
+			ns := make([]string, len(nb))
+			for i, v := range nb {
+				ns[i] = labels[v]
+			}
+			sortStrings(ns)
+			sig := labels[u]
+			for _, s := range ns {
+				sig += "|" + s
+			}
+			next[u] = hashLabel(sig)
+			hist[itoa(it)+":"+next[u]]++
+		}
+		labels = next
+	}
+	return hist
+}
+
+// --- Proposed AIG-specific measures (Section IV-B) ---------------------
+
+// RGC computes the Relative Gate Count difference (Eq. 2):
+// |G1-G2| / (G1+G2). Higher = more different.
+func RGC(p1, p2 *Profile) float64 {
+	den := p1.Gates + p2.Gates
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(float64(p1.Gates-p2.Gates)) / float64(den)
+}
+
+// RLC computes the Relative Level Count difference, the level-depth
+// analogue of Eq. 2. Higher = more different.
+func RLC(p1, p2 *Profile) float64 {
+	den := p1.Levels + p2.Levels
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(float64(p1.Levels-p2.Levels)) / float64(den)
+}
+
+// Operator indexes the single-operator scores.
+type Operator int
+
+// The three optimization operators of Eq. 3.
+const (
+	OpRewrite Operator = iota
+	OpRefactor
+	OpResub
+)
+
+// OpScore computes the single-operator score of Eq. 3: the absolute
+// difference of the two AIGs' single-step reduction ratios under the
+// given operator. Higher = more different.
+func OpScore(p1, p2 *Profile, op Operator) float64 {
+	return math.Abs(p1.reductions[op] - p2.reductions[op])
+}
+
+// RewriteScore is Eq. 3 with the rewriting operator.
+func RewriteScore(p1, p2 *Profile) float64 { return OpScore(p1, p2, OpRewrite) }
+
+// RefactorScore is Eq. 3 with the refactoring operator.
+func RefactorScore(p1, p2 *Profile) float64 { return OpScore(p1, p2, OpRefactor) }
+
+// ResubScore is Eq. 3 with the resubstitution operator.
+func ResubScore(p1, p2 *Profile) float64 { return OpScore(p1, p2, OpResub) }
+
+// RRRScore computes Eq. 4: the Euclidean distance between the two AIGs'
+// (rewrite, refactor, resub) reduction vectors. Higher = more different.
+func RRRScore(p1, p2 *Profile) float64 {
+	s := 0.0
+	for i := 0; i < 3; i++ {
+		d := p1.reductions[i] - p2.reductions[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// --- Benchmark (Section III-B) ------------------------------------------
+
+// ROD computes the Relative Optimizability Difference (Eq. 1) from the
+// gate counts of the two fully optimized AIGs:
+// |G1*-G2*| / max(G1*, G2*).
+func ROD(gates1, gates2 int) float64 {
+	mx := gates1
+	if gates2 > mx {
+		mx = gates2
+	}
+	if mx == 0 {
+		return 0
+	}
+	return math.Abs(float64(gates1-gates2)) / float64(mx)
+}
+
+// --- Metric registry -----------------------------------------------------
+
+// Kind distinguishes the two metric families of the paper.
+type Kind int
+
+// Metric families.
+const (
+	Traditional Kind = iota
+	AIGSpecific
+)
+
+// Metric is a named pairwise dissimilarity/similarity measure.
+type Metric struct {
+	Name string
+	Kind Kind
+	// HigherIsSimilar records the metric's direction: VEO and the WL
+	// kernel grow with similarity, the others with difference. The paper
+	// reports correlation strength regardless of sign.
+	HigherIsSimilar bool
+	Compute         func(p1, p2 *Profile) float64
+}
+
+// Metrics returns all eleven pairwise measures in the paper's order
+// (Table I then Table II, with the three operator scores and RRR).
+func Metrics() []Metric {
+	return []Metric{
+		{"VEO", Traditional, true, VEO},
+		{"NetSimile", Traditional, false, NetSimile},
+		{"WLKernel", Traditional, true, WLKernel},
+		{"ASD", Traditional, false, ASD},
+		{"RGC", AIGSpecific, false, RGC},
+		{"RLC", AIGSpecific, false, RLC},
+		{"RewriteScore", AIGSpecific, false, RewriteScore},
+		{"RefactorScore", AIGSpecific, false, RefactorScore},
+		{"ResubScore", AIGSpecific, false, ResubScore},
+		{"RRRScore", AIGSpecific, false, RRRScore},
+	}
+}
+
+// MetricByName returns the named metric.
+func MetricByName(name string) (Metric, bool) {
+	for _, m := range Metrics() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}

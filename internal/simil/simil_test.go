@@ -1,0 +1,219 @@
+package simil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/synth"
+	"repro/internal/tt"
+)
+
+func profileOf(t *testing.T, a *aig.AIG) *Profile {
+	t.Helper()
+	return NewProfile(a, ProfileOptions{})
+}
+
+func twoVariants(t *testing.T, n int, seed int64) (*Profile, *Profile, []tt.TT) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	spec := []tt.TT{tt.Random(n, r), tt.Random(n, r)}
+	g1 := synth.SynthSOP(spec)
+	g2 := synth.SynthBDD(spec)
+	return profileOf(t, g1), profileOf(t, g2), spec
+}
+
+func TestIdentityAxioms(t *testing.T) {
+	p, _, _ := twoVariants(t, 5, 141)
+	if got := VEO(p, p); got != 1 {
+		t.Errorf("VEO(p,p) = %f, want 1", got)
+	}
+	if got := NetSimile(p, p); got != 0 {
+		t.Errorf("NetSimile(p,p) = %f, want 0", got)
+	}
+	if got := WLKernel(p, p); math.Abs(got-1) > 1e-12 {
+		t.Errorf("WLKernel(p,p) = %f, want 1", got)
+	}
+	if got := ASD(p, p); got != 0 {
+		t.Errorf("ASD(p,p) = %f, want 0", got)
+	}
+	for _, m := range Metrics() {
+		if m.Kind == AIGSpecific {
+			if got := m.Compute(p, p); got != 0 {
+				t.Errorf("%s(p,p) = %f, want 0", m.Name, got)
+			}
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	p1, p2, _ := twoVariants(t, 5, 142)
+	for _, m := range Metrics() {
+		a, b := m.Compute(p1, p2), m.Compute(p2, p1)
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("%s not symmetric: %f vs %f", m.Name, a, b)
+		}
+	}
+}
+
+func TestRanges(t *testing.T) {
+	p1, p2, _ := twoVariants(t, 6, 143)
+	if v := VEO(p1, p2); v < 0 || v > 1 {
+		t.Errorf("VEO out of [0,1]: %f", v)
+	}
+	if v := WLKernel(p1, p2); v < 0 || v > 1+1e-12 {
+		t.Errorf("WLKernel out of [0,1]: %f", v)
+	}
+	if v := RGC(p1, p2); v < 0 || v > 1 {
+		t.Errorf("RGC out of [0,1]: %f", v)
+	}
+	if v := RLC(p1, p2); v < 0 || v > 1 {
+		t.Errorf("RLC out of [0,1]: %f", v)
+	}
+	if v := RRRScore(p1, p2); v < 0 || v > math.Sqrt(3)+1e-12 {
+		t.Errorf("RRR out of range: %f", v)
+	}
+	for _, m := range Metrics() {
+		if v := m.Compute(p1, p2); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s produced %f", m.Name, v)
+		}
+	}
+}
+
+func TestDissimilarStructuresScoreWorseThanIdentical(t *testing.T) {
+	p1, p2, _ := twoVariants(t, 6, 144)
+	if VEO(p1, p2) >= VEO(p1, p1) {
+		t.Error("VEO: different structures as similar as identical")
+	}
+	if NetSimile(p1, p2) <= 0 {
+		t.Error("NetSimile: different structures at distance 0")
+	}
+	if WLKernel(p1, p2) >= 1 {
+		t.Error("WL: different structures at kernel 1")
+	}
+}
+
+func TestRGCFormula(t *testing.T) {
+	// Hand check Eq. 2 with synthetic profiles.
+	p1 := &Profile{Gates: 30, Levels: 5}
+	p2 := &Profile{Gates: 10, Levels: 15}
+	if got := RGC(p1, p2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("RGC = %f, want 0.5", got)
+	}
+	if got := RLC(p1, p2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("RLC = %f, want 0.5", got)
+	}
+	empty := &Profile{}
+	if RGC(empty, empty) != 0 || RLC(empty, empty) != 0 {
+		t.Error("degenerate profiles should score 0")
+	}
+}
+
+func TestOpScoresFormula(t *testing.T) {
+	p1 := &Profile{reductions: [3]float64{0.5, 0.2, 0.1}}
+	p2 := &Profile{reductions: [3]float64{0.1, 0.2, 0.4}}
+	if got := RewriteScore(p1, p2); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("RewriteScore = %f", got)
+	}
+	if got := RefactorScore(p1, p2); got != 0 {
+		t.Errorf("RefactorScore = %f", got)
+	}
+	if got := ResubScore(p1, p2); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("ResubScore = %f", got)
+	}
+	want := math.Sqrt(0.4*0.4 + 0.3*0.3)
+	if got := RRRScore(p1, p2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RRRScore = %f, want %f", got, want)
+	}
+}
+
+func TestRODFormula(t *testing.T) {
+	if got := ROD(50, 100); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ROD(50,100) = %f", got)
+	}
+	if got := ROD(100, 50); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ROD(100,50) = %f", got)
+	}
+	if ROD(70, 70) != 0 {
+		t.Error("ROD of equal sizes should be 0")
+	}
+	if ROD(0, 0) != 0 {
+		t.Error("ROD(0,0) should be 0")
+	}
+	if ROD(0, 10) != 1 {
+		t.Error("ROD(0,10) should be 1")
+	}
+}
+
+func TestOptReductionsNonNegative(t *testing.T) {
+	r := rand.New(rand.NewSource(145))
+	spec := []tt.TT{tt.Random(5, r)}
+	for _, rec := range synth.Recipes() {
+		g := rec.Build(spec)
+		red := OptReductions(g)
+		for i, v := range red {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: reduction[%d] = %f out of [0,1]", rec.Name, i, v)
+			}
+		}
+	}
+	// Constant AIG: zero reductions.
+	g := aig.New(2)
+	g.AddPO(aig.LitTrue)
+	if red := OptReductions(g); red != [3]float64{} {
+		t.Errorf("constant AIG reductions = %v", red)
+	}
+}
+
+func TestMetricRegistry(t *testing.T) {
+	ms := Metrics()
+	if len(ms) != 10 {
+		t.Fatalf("have %d metrics, want 10", len(ms))
+	}
+	trad, spec := 0, 0
+	for _, m := range ms {
+		if m.Kind == Traditional {
+			trad++
+		} else {
+			spec++
+		}
+	}
+	if trad != 4 || spec != 6 {
+		t.Errorf("metric split %d/%d, want 4/6", trad, spec)
+	}
+	if _, ok := MetricByName("RRRScore"); !ok {
+		t.Error("RRRScore missing")
+	}
+	if _, ok := MetricByName("nope"); ok {
+		t.Error("bogus metric found")
+	}
+}
+
+func TestSkipOptScores(t *testing.T) {
+	r := rand.New(rand.NewSource(146))
+	g := synth.SynthSOP([]tt.TT{tt.Random(4, r)})
+	p := NewProfile(g, ProfileOptions{SkipOptScores: true})
+	if p.Reductions() != [3]float64{} {
+		t.Error("SkipOptScores should leave reductions zero")
+	}
+	if len(p.spectrum) == 0 {
+		t.Error("spectrum should still be computed")
+	}
+}
+
+func TestProfileDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(147))
+	g := synth.SynthSOP([]tt.TT{tt.Random(6, r)})
+	p1 := NewProfile(g, ProfileOptions{Seed: 5})
+	p2 := NewProfile(g, ProfileOptions{Seed: 5})
+	for _, m := range Metrics() {
+		if v := m.Compute(p1, p2); m.HigherIsSimilar {
+			if m.Name == "VEO" && v != 1 {
+				t.Errorf("VEO of identical profiles = %f", v)
+			}
+		} else if v != 0 {
+			t.Errorf("%s of identical profiles = %f", m.Name, v)
+		}
+	}
+}

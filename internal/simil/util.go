@@ -1,0 +1,18 @@
+package simil
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+)
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+// hashLabel compresses a WL signature string into a short stable label.
+func hashLabel(sig string) string {
+	h := sha256.Sum256([]byte(sig))
+	return hex.EncodeToString(h[:8])
+}

@@ -1,0 +1,233 @@
+// Package stats provides the statistical machinery of the paper's
+// evaluation: summary aggregates (including the skewness and kurtosis
+// used by NetSimile), the Canberra distance, Pearson correlation with
+// Fisher-transform confidence intervals, and least-squares trendlines for
+// the scatter plots.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Skewness returns the population skewness (0 when variance vanishes).
+func Skewness(xs []float64) float64 {
+	sd := StdDev(xs)
+	if sd == 0 || len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := (x - m) / sd
+		s += d * d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Kurtosis returns the population excess kurtosis (0 when variance
+// vanishes).
+func Kurtosis(xs []float64) float64 {
+	sd := StdDev(xs)
+	if sd == 0 || len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := (x - m) / sd
+		s += d * d * d * d
+	}
+	return s/float64(len(xs)) - 3
+}
+
+// Aggregate computes the five NetSimile aggregates of a feature vector:
+// median, mean, standard deviation, skewness, kurtosis.
+func Aggregate(xs []float64) [5]float64 {
+	return [5]float64{Median(xs), Mean(xs), StdDev(xs), Skewness(xs), Kurtosis(xs)}
+}
+
+// Canberra returns the Canberra distance between equal-length vectors:
+// sum |a-b| / (|a|+|b|) over coordinates, skipping 0/0 terms.
+func Canberra(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: Canberra length mismatch")
+	}
+	d := 0.0
+	for i := range a {
+		den := math.Abs(a[i]) + math.Abs(b[i])
+		if den == 0 {
+			continue
+		}
+		d += math.Abs(a[i]-b[i]) / den
+	}
+	return d
+}
+
+// Euclidean returns the Euclidean distance between equal-length vectors.
+func Euclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: Euclidean length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// ErrDegenerate is returned when a correlation is undefined because one
+// of the variables has zero variance or too few samples.
+var ErrDegenerate = errors.New("stats: correlation undefined (zero variance or n < 3)")
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: Pearson length mismatch")
+	}
+	n := len(xs)
+	if n < 3 {
+		return 0, ErrDegenerate
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, ErrDegenerate
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Correlation bundles a Pearson coefficient with its confidence interval.
+type Correlation struct {
+	R    float64
+	Low  float64
+	High float64
+	N    int
+}
+
+// PearsonCI computes the Pearson correlation and its confidence interval
+// at the given level (e.g. 0.95) using the Fisher z-transformation, as
+// the paper does.
+func PearsonCI(xs, ys []float64, level float64) (Correlation, error) {
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		return Correlation{}, err
+	}
+	n := len(xs)
+	if n < 4 {
+		return Correlation{R: r, Low: -1, High: 1, N: n}, nil
+	}
+	// Clamp to avoid infinities on |r| == 1.
+	rc := math.Max(-0.999999, math.Min(0.999999, r))
+	z := math.Atanh(rc)
+	se := 1 / math.Sqrt(float64(n-3))
+	q := normalQuantile(0.5 + level/2)
+	lo, hi := math.Tanh(z-q*se), math.Tanh(z+q*se)
+	return Correlation{R: r, Low: lo, High: hi, N: n}, nil
+}
+
+// normalQuantile computes the standard normal quantile via the
+// Acklam/Beasley-Springer-Moro rational approximation (|err| < 1.15e-9).
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: quantile out of range")
+	}
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// Line is a least-squares trendline y = Slope*x + Intercept.
+type Line struct {
+	Slope     float64
+	Intercept float64
+}
+
+// LinearFit fits a least-squares line through the paired samples.
+func LinearFit(xs, ys []float64) (Line, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Line{}, errors.New("stats: LinearFit needs >= 2 paired samples")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxy += dx * (ys[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return Line{}, errors.New("stats: LinearFit with zero x variance")
+	}
+	s := sxy / sxx
+	return Line{Slope: s, Intercept: my - s*mx}, nil
+}

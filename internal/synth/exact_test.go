@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+func TestExact3AllFunctions(t *testing.T) {
+	// Every 3-variable function must be realized correctly.
+	for fv := 0; fv < 256; fv++ {
+		f := tt.FromWords(3, []uint64{uint64(fv)})
+		g, ok := ExactStructure3(f)
+		if !ok {
+			t.Fatalf("function %02x rejected", fv)
+		}
+		if !g.OutputTTs()[0].Equal(f) {
+			t.Fatalf("function %02x realized incorrectly", fv)
+		}
+	}
+}
+
+func TestExact3KnownOptima(t *testing.T) {
+	cases := []struct {
+		hex  string
+		want int
+	}{
+		{"88", 1}, // AND2
+		{"ee", 1}, // OR2 (one AND + inverters)
+		{"80", 2}, // AND3
+		{"fe", 2}, // OR3
+		{"66", 3}, // XOR2
+		{"e8", 4}, // MAJ3: known 4-AND optimum
+		{"96", 6}, // XOR3 as a tree: 3 + 3
+		{"ca", 3}, // MUX(a;b,c)
+	}
+	for _, c := range cases {
+		f, err := tt.ParseHex(3, c.hex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, ok := ExactStructure3(f)
+		if !ok {
+			t.Fatalf("%s rejected", c.hex)
+		}
+		if g.NumAnds() != c.want {
+			t.Errorf("exact(%s) uses %d ANDs, want %d", c.hex, g.NumAnds(), c.want)
+		}
+	}
+}
+
+func TestExact3CostMatchesStructure(t *testing.T) {
+	for fv := 0; fv < 256; fv++ {
+		f := tt.FromWords(3, []uint64{uint64(fv)})
+		g, _ := ExactStructure3(f)
+		// The built tree may share nodes (strashing), so its AND count
+		// can only be <= the tree-optimal cost.
+		if g.NumAnds() > exact3Cost(uint8(fv)) {
+			t.Fatalf("function %02x: structure %d ANDs exceeds optimal cost %d",
+				fv, g.NumAnds(), exact3Cost(uint8(fv)))
+		}
+	}
+}
+
+func TestExact3EmbeddedSupport(t *testing.T) {
+	// A 3-support function embedded in 6 variables.
+	f := tt.Var(1, 6).And(tt.Var(3, 6)).Or(tt.Var(5, 6))
+	g, ok := ExactStructure3(f)
+	if !ok {
+		t.Fatal("3-support function rejected")
+	}
+	if g.NumAnds() != 2 {
+		t.Errorf("a&b|c uses %d ANDs, want 2", g.NumAnds())
+	}
+	// Over-wide support is rejected.
+	wide := tt.Var(0, 5).Xor(tt.Var(1, 5)).Xor(tt.Var(2, 5)).Xor(tt.Var(3, 5))
+	if _, ok := ExactStructure3(wide); ok {
+		t.Error("4-support function accepted")
+	}
+}
+
+func TestBestStructureUsesExact(t *testing.T) {
+	// MAJ3's 4-AND optimum must now be found by BestStructure.
+	maj := tt.Var(0, 3).And(tt.Var(1, 3)).Or(tt.Var(0, 3).And(tt.Var(2, 3))).Or(tt.Var(1, 3).And(tt.Var(2, 3)))
+	if got := BestStructure(maj).NumAnds(); got != 4 {
+		t.Errorf("BestStructure(maj3) = %d ANDs, want 4", got)
+	}
+	// And stays correct on random embedded-support functions.
+	r := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 20; trial++ {
+		f3 := tt.Random(3, r)
+		f := f3.Expand(5)
+		g := BestStructure(f)
+		if !g.OutputTTs()[0].Equal(f) {
+			t.Fatalf("trial %d: wrong function", trial)
+		}
+	}
+}

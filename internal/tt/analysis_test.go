@@ -1,0 +1,125 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUnateness(t *testing.T) {
+	n := 3
+	and := Var(0, n).And(Var(1, n))
+	if and.UnatenessIn(0) != PositiveUnate || and.UnatenessIn(1) != PositiveUnate {
+		t.Error("AND should be positive unate")
+	}
+	if and.UnatenessIn(2) != Independent {
+		t.Error("unused variable should be independent")
+	}
+	neg := Var(0, n).Not().And(Var(1, n))
+	if neg.UnatenessIn(0) != NegativeUnate {
+		t.Error("!x0 & x1 should be negative unate in x0")
+	}
+	xor := Var(0, n).Xor(Var(1, n))
+	if xor.UnatenessIn(0) != Binate || xor.UnatenessIn(1) != Binate {
+		t.Error("XOR should be binate")
+	}
+	if !and.IsUnate() || xor.IsUnate() {
+		t.Error("IsUnate wrong")
+	}
+	for _, u := range []Unateness{Independent, PositiveUnate, NegativeUnate, Binate} {
+		if u.String() == "" {
+			t.Error("empty unateness string")
+		}
+	}
+}
+
+func TestSymmetricIn(t *testing.T) {
+	n := 3
+	maj := Var(0, n).And(Var(1, n)).Or(Var(0, n).And(Var(2, n))).Or(Var(1, n).And(Var(2, n)))
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if !maj.SymmetricIn(u, v) {
+				t.Errorf("majority should be symmetric in (%d,%d)", u, v)
+			}
+		}
+	}
+	f := Var(0, n).And(Var(1, n).Or(Var(2, n)))
+	if f.SymmetricIn(0, 1) {
+		t.Error("x0&(x1|x2) is not symmetric in (0,1)")
+	}
+	if !f.SymmetricIn(1, 2) {
+		t.Error("x0&(x1|x2) is symmetric in (1,2)")
+	}
+}
+
+func TestTotallySymmetric(t *testing.T) {
+	n := 5
+	// Threshold >= 3.
+	f := New(n)
+	for m := 0; m < 1<<n; m++ {
+		if popcountInt(m) >= 3 {
+			f.SetBit(m, true)
+		}
+	}
+	profile, ok := f.IsTotallySymmetric()
+	if !ok {
+		t.Fatal("threshold function should be totally symmetric")
+	}
+	for c := 0; c <= n; c++ {
+		if profile[c] != (c >= 3) {
+			t.Errorf("profile[%d] = %v", c, profile[c])
+		}
+	}
+	g := Var(0, n).And(Var(1, n))
+	if _, ok := g.IsTotallySymmetric(); ok {
+		t.Error("AND of two of five vars is not totally symmetric")
+	}
+}
+
+func TestInfluence(t *testing.T) {
+	n := 3
+	xor := Var(0, n).Xor(Var(1, n)).Xor(Var(2, n))
+	for v := 0; v < n; v++ {
+		if xor.Influence(v) != 1 {
+			t.Errorf("XOR influence(%d) = %f, want 1", v, xor.Influence(v))
+		}
+	}
+	and := Var(0, n).And(Var(1, n)).And(Var(2, n))
+	if got := and.Influence(0); got != 0.25 {
+		t.Errorf("AND3 influence = %f, want 0.25", got)
+	}
+	if Const(n, true).Influence(1) != 0 {
+		t.Error("constant influence should be 0")
+	}
+}
+
+func TestSymmetryClasses(t *testing.T) {
+	n := 4
+	// f = (x0 ^ x1) & (x2 | x3): classes {0,1} and {2,3}.
+	f := Var(0, n).Xor(Var(1, n)).And(Var(2, n).Or(Var(3, n)))
+	classes := f.SymmetryClasses()
+	if len(classes) != 2 {
+		t.Fatalf("got %d classes: %v", len(classes), classes)
+	}
+	if len(classes[0]) != 2 || len(classes[1]) != 2 {
+		t.Errorf("classes = %v", classes)
+	}
+	// Random functions: classes partition the support.
+	r := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 10; trial++ {
+		g := Random(5, r)
+		seen := map[int]bool{}
+		total := 0
+		for _, cls := range g.SymmetryClasses() {
+			for _, v := range cls {
+				if seen[v] {
+					t.Fatal("variable in two classes")
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		if total != g.SupportSize() {
+			t.Fatal("classes do not cover the support")
+		}
+	}
+}

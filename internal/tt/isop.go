@@ -1,0 +1,173 @@
+package tt
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Cube is a product term over up to MaxVars variables. Bit v of Mask marks
+// variable v as present in the cube; the corresponding bit of Val gives its
+// required polarity (1 = positive literal). An empty cube (Mask == 0) is
+// the tautology.
+type Cube struct {
+	Mask uint32
+	Val  uint32
+}
+
+// NumLits returns the number of literals in the cube.
+func (c Cube) NumLits() int { return bits.OnesCount32(c.Mask) }
+
+// HasVar reports whether variable v appears in the cube.
+func (c Cube) HasVar(v int) bool { return c.Mask>>uint(v)&1 == 1 }
+
+// Phase reports the polarity of variable v (true = positive literal);
+// meaningful only when HasVar(v).
+func (c Cube) Phase(v int) bool { return c.Val>>uint(v)&1 == 1 }
+
+// WithLit returns the cube extended with a literal on variable v.
+func (c Cube) WithLit(v int, positive bool) Cube {
+	c.Mask |= 1 << uint(v)
+	if positive {
+		c.Val |= 1 << uint(v)
+	} else {
+		c.Val &^= 1 << uint(v)
+	}
+	return c
+}
+
+// Contains reports whether minterm m satisfies the cube.
+func (c Cube) Contains(m int) bool {
+	return uint32(m)&c.Mask == c.Val&c.Mask
+}
+
+// TT expands the cube into a truth table over n variables.
+func (c Cube) TT(n int) TT {
+	t := Const(n, true)
+	for v := 0; v < n; v++ {
+		if !c.HasVar(v) {
+			continue
+		}
+		x := Var(v, n)
+		if !c.Phase(v) {
+			x = x.Not()
+		}
+		t = t.And(x)
+	}
+	return t
+}
+
+// String renders the cube in the conventional espresso input-plane form:
+// one character per variable (variable 0 first), '1' positive, '0'
+// negative, '-' absent.
+func (c Cube) String() string {
+	var b strings.Builder
+	for v := 0; v < MaxVars; v++ {
+		if c.Mask>>uint(v) == 0 {
+			break
+		}
+		switch {
+		case !c.HasVar(v):
+			b.WriteByte('-')
+		case c.Phase(v):
+			b.WriteByte('1')
+		default:
+			b.WriteByte('0')
+		}
+	}
+	if b.Len() == 0 {
+		return "-"
+	}
+	return b.String()
+}
+
+// ParseCube parses an espresso-style cube string over n variables.
+func ParseCube(n int, s string) (Cube, error) {
+	var c Cube
+	if len(s) > n {
+		return c, fmt.Errorf("tt: cube %q longer than %d variables", s, n)
+	}
+	for i, r := range s {
+		switch r {
+		case '1':
+			c = c.WithLit(i, true)
+		case '0':
+			c = c.WithLit(i, false)
+		case '-':
+		default:
+			return c, fmt.Errorf("tt: invalid cube character %q", r)
+		}
+	}
+	return c, nil
+}
+
+// CoverTT expands a cube cover (interpreted as an OR of cubes) into a
+// truth table over n variables.
+func CoverTT(n int, cover []Cube) TT {
+	t := New(n)
+	for _, c := range cover {
+		t = t.Or(c.TT(n))
+	}
+	return t
+}
+
+// Isop computes an irredundant sum-of-products cover of any function f
+// with on-set lower bound L and upper bound U (L implies U) using the
+// Minato-Morreale procedure. The returned cover satisfies
+// L <= cover <= U. Passing L == U yields an ISOP of the exact function.
+func Isop(L, U TT) []Cube {
+	L.check(U)
+	if !L.AndNot(U).IsConst0() {
+		panic("tt: Isop requires L <= U")
+	}
+	cover, _ := isopRec(L, U, L.nvars)
+	return cover
+}
+
+// IsopOf computes an irredundant SOP cover of f exactly.
+func IsopOf(f TT) []Cube { return Isop(f, f) }
+
+// isopRec returns a cover and the function it realizes, considering only
+// the first nv variables (all higher variables are constant within the
+// current recursion branch).
+func isopRec(L, U TT, nv int) ([]Cube, TT) {
+	if L.IsConst0() {
+		return nil, New(L.nvars)
+	}
+	if U.IsConst1() {
+		return []Cube{{}}, Const(L.nvars, true)
+	}
+	// Find the topmost variable on which L or U actually depends.
+	v := nv - 1
+	for v >= 0 && !L.HasVar(v) && !U.HasVar(v) {
+		v--
+	}
+	if v < 0 {
+		// L and U are constants; L != 0 and U != 1 is impossible here
+		// because L <= U, so L == 0 handled above means U == 0 too.
+		panic("tt: isop internal: non-constant expected")
+	}
+	L0, L1 := L.Cofactor(v, false), L.Cofactor(v, true)
+	U0, U1 := U.Cofactor(v, false), U.Cofactor(v, true)
+
+	// Cubes that must contain the negative literal of v.
+	c0, f0 := isopRec(L0.AndNot(U1), U0, v)
+	// Cubes that must contain the positive literal of v.
+	c1, f1 := isopRec(L1.AndNot(U0), U1, v)
+	// Remainder handled without a literal on v.
+	Lstar := L0.AndNot(f0).Or(L1.AndNot(f1))
+	cs, fs := isopRec(Lstar, U0.And(U1), v)
+
+	cover := make([]Cube, 0, len(c0)+len(c1)+len(cs))
+	for _, c := range c0 {
+		cover = append(cover, c.WithLit(v, false))
+	}
+	for _, c := range c1 {
+		cover = append(cover, c.WithLit(v, true))
+	}
+	cover = append(cover, cs...)
+
+	x := Var(v, L.nvars)
+	f := fs.Or(x.Not().And(f0)).Or(x.And(f1))
+	return cover, f
+}

@@ -1,0 +1,156 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCubeBasics(t *testing.T) {
+	c := Cube{}.WithLit(0, true).WithLit(2, false)
+	if c.NumLits() != 2 {
+		t.Errorf("NumLits = %d, want 2", c.NumLits())
+	}
+	if !c.HasVar(0) || c.HasVar(1) || !c.HasVar(2) {
+		t.Error("HasVar wrong")
+	}
+	if !c.Phase(0) || c.Phase(2) {
+		t.Error("Phase wrong")
+	}
+	// Cube x0 & !x2 over 3 vars: minterms with bit0=1, bit2=0: 1, 3.
+	want := Var(0, 3).And(Var(2, 3).Not())
+	if !c.TT(3).Equal(want) {
+		t.Error("Cube.TT mismatch")
+	}
+	if !c.Contains(1) || !c.Contains(3) || c.Contains(5) || c.Contains(0) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestCubeString(t *testing.T) {
+	c := Cube{}.WithLit(0, true).WithLit(2, false)
+	if got := c.String(); got != "1-0" {
+		t.Errorf("String = %q, want 1-0", got)
+	}
+	parsed, err := ParseCube(3, "1-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != c {
+		t.Errorf("ParseCube round trip: %+v != %+v", parsed, c)
+	}
+	if (Cube{}).String() != "-" {
+		t.Error("tautology cube should render as -")
+	}
+	if _, err := ParseCube(2, "111"); err == nil {
+		t.Error("over-long cube should fail")
+	}
+	if _, err := ParseCube(3, "1x0"); err == nil {
+		t.Error("bad character should fail")
+	}
+}
+
+func TestIsopExactRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for n := 0; n <= 8; n++ {
+		for trial := 0; trial < 20; trial++ {
+			f := Random(n, r)
+			cover := IsopOf(f)
+			if !CoverTT(n, cover).Equal(f) {
+				t.Fatalf("n=%d: ISOP cover does not realize the function", n)
+			}
+		}
+	}
+}
+
+func TestIsopCorners(t *testing.T) {
+	if got := IsopOf(Const(4, false)); len(got) != 0 {
+		t.Errorf("ISOP of const0 has %d cubes, want 0", len(got))
+	}
+	got := IsopOf(Const(4, true))
+	if len(got) != 1 || got[0].NumLits() != 0 {
+		t.Errorf("ISOP of const1 = %v, want single tautology cube", got)
+	}
+	// Single variable.
+	cov := IsopOf(Var(2, 5))
+	if len(cov) != 1 || cov[0].NumLits() != 1 || !cov[0].Phase(2) {
+		t.Errorf("ISOP of x2 = %v", cov)
+	}
+}
+
+func TestIsopXorCubeCount(t *testing.T) {
+	// n-input XOR needs exactly 2^(n-1) cubes in any SOP.
+	for n := 2; n <= 5; n++ {
+		f := New(n)
+		f = f.Not().AndNot(f) // placeholder to keep shape; rebuilt below
+		f = Var(0, n)
+		for v := 1; v < n; v++ {
+			f = f.Xor(Var(v, n))
+		}
+		cover := IsopOf(f)
+		if len(cover) != 1<<(n-1) {
+			t.Errorf("XOR%d ISOP has %d cubes, want %d", n, len(cover), 1<<(n-1))
+		}
+		for _, c := range cover {
+			if c.NumLits() != n {
+				t.Errorf("XOR%d cube %v has %d lits, want %d", n, c, c.NumLits(), n)
+			}
+		}
+	}
+}
+
+func TestIsopIrredundant(t *testing.T) {
+	// Removing any cube from an ISOP must lose some minterm.
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + trial%4
+		f := Random(n, r)
+		cover := IsopOf(f)
+		for drop := range cover {
+			reduced := make([]Cube, 0, len(cover)-1)
+			reduced = append(reduced, cover[:drop]...)
+			reduced = append(reduced, cover[drop+1:]...)
+			if CoverTT(n, reduced).Equal(f) {
+				t.Fatalf("trial %d: cube %d is redundant in ISOP", trial, drop)
+			}
+		}
+	}
+}
+
+func TestIsopInterval(t *testing.T) {
+	// With L < U the cover must lie in the interval.
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + trial%3
+		a, b := Random(n, r), Random(n, r)
+		L := a.And(b)
+		U := a.Or(b)
+		cover := Isop(L, U)
+		f := CoverTT(n, cover)
+		if !L.AndNot(f).IsConst0() {
+			t.Fatalf("trial %d: cover misses required minterms", trial)
+		}
+		if !f.AndNot(U).IsConst0() {
+			t.Fatalf("trial %d: cover exceeds upper bound", trial)
+		}
+	}
+}
+
+func TestIsopRequiresOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Isop with L > U should panic")
+		}
+	}()
+	Isop(Const(3, true), Const(3, false))
+}
+
+func TestIsopQuick(t *testing.T) {
+	f := func(w uint64) bool {
+		fn := FromWords(6, []uint64{w})
+		return CoverTT(6, IsopOf(fn)).Equal(fn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

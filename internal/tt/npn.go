@@ -1,0 +1,135 @@
+package tt
+
+import "fmt"
+
+// NPNTransform records how a function was mapped to its NPN-canonical
+// representative: first inputs are complemented according to Flips, then
+// inputs are permuted (original variable Perm[i] becomes canonical
+// variable i), and finally the output is complemented if OutFlip is set.
+type NPNTransform struct {
+	Perm    []int
+	Flips   uint32 // bit v set: original input v complemented before permuting
+	OutFlip bool
+}
+
+// Apply maps t to its image under the transform (the canonical form when
+// the transform came from NPNCanon of t).
+func (x NPNTransform) Apply(t TT) TT {
+	r := t
+	for v := 0; v < t.NumVars(); v++ {
+		if x.Flips>>uint(v)&1 == 1 {
+			r = r.FlipVar(v)
+		}
+	}
+	r = r.Permute(x.Perm)
+	if x.OutFlip {
+		r = r.Not()
+	}
+	return r
+}
+
+// Inverse returns the transform mapping the canonical form back to the
+// original function.
+func (x NPNTransform) Inverse() NPNTransform {
+	inv := NPNTransform{Perm: make([]int, len(x.Perm)), OutFlip: x.OutFlip}
+	// x maps original var p=Perm[i] to canonical var i (after flipping
+	// original inputs). The inverse permutes canonical var i back to p and
+	// then flips, but since flips commute with renaming when re-indexed we
+	// fold them: inverse flips act on canonical variable i when original
+	// variable Perm[i] was flipped.
+	for i, p := range x.Perm {
+		inv.Perm[p] = i
+		if x.Flips>>uint(p)&1 == 1 {
+			inv.Flips |= 1 << uint(i)
+		}
+	}
+	return inv
+}
+
+// permutations returns all permutations of 0..n-1.
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	var rec func(cur []int, used uint32)
+	rec = func(cur []int, used uint32) {
+		if len(cur) == n {
+			cp := make([]int, n)
+			copy(cp, cur)
+			out = append(out, cp)
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used>>uint(v)&1 == 0 {
+				rec(append(cur, v), used|1<<uint(v))
+			}
+		}
+	}
+	rec(make([]int, 0, n), 0)
+	return out
+}
+
+var permCache = map[int][][]int{}
+
+func allPerms(n int) [][]int {
+	if p, ok := permCache[n]; ok {
+		return p
+	}
+	p := permutations(n)
+	permCache[n] = p
+	return p
+}
+
+// NPNCanon computes the NPN-canonical representative of t by exhaustive
+// enumeration over input negations, input permutations, and output
+// negation, choosing the lexicographically smallest truth table. It is
+// intended for small functions (<= 6 variables; the 4-variable case used
+// by rewriting enumerates 768 transforms).
+//
+// The returned transform satisfies canon == transform.Apply(t) and
+// t == transform.Inverse().Apply(canon).
+func NPNCanon(t TT) (canon TT, transform NPNTransform) {
+	n := t.NumVars()
+	if n > 6 {
+		panic(fmt.Sprintf("tt: NPNCanon limited to 6 variables, got %d", n))
+	}
+	best := TT{}
+	var bestX NPNTransform
+	have := false
+
+	for flips := uint32(0); flips < 1<<uint(n); flips++ {
+		flipped := t
+		for v := 0; v < n; v++ {
+			if flips>>uint(v)&1 == 1 {
+				flipped = flipped.FlipVar(v)
+			}
+		}
+		for _, perm := range allPerms(n) {
+			p := flipped.Permute(perm)
+			for out := 0; out < 2; out++ {
+				cand := p
+				if out == 1 {
+					cand = p.Not()
+				}
+				if !have || lessTT(cand, best) {
+					best = cand
+					bestX = NPNTransform{Perm: append([]int(nil), perm...), Flips: flips, OutFlip: out == 1}
+					have = true
+				}
+			}
+		}
+	}
+	return best, bestX
+}
+
+// lessTT orders truth tables lexicographically by their words
+// (most-significant word first).
+func lessTT(a, b TT) bool {
+	for i := len(a.words) - 1; i >= 0; i-- {
+		if a.words[i] != b.words[i] {
+			return a.words[i] < b.words[i]
+		}
+	}
+	return false
+}

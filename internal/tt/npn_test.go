@@ -1,0 +1,90 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randTransform(n int, r *rand.Rand) NPNTransform {
+	perm := r.Perm(n)
+	return NPNTransform{
+		Perm:    perm,
+		Flips:   uint32(r.Intn(1 << uint(n))),
+		OutFlip: r.Intn(2) == 1,
+	}
+}
+
+func TestNPNTransformInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for n := 1; n <= 6; n++ {
+		for trial := 0; trial < 30; trial++ {
+			f := Random(n, r)
+			x := randTransform(n, r)
+			if !x.Inverse().Apply(x.Apply(f)).Equal(f) {
+				t.Fatalf("n=%d trial=%d: inverse(apply) is not identity", n, trial)
+			}
+			if !x.Apply(x.Inverse().Apply(f)).Equal(f) {
+				t.Fatalf("n=%d trial=%d: apply(inverse) is not identity", n, trial)
+			}
+		}
+	}
+}
+
+func TestNPNCanonRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for n := 1; n <= 5; n++ {
+		for trial := 0; trial < 20; trial++ {
+			f := Random(n, r)
+			canon, x := NPNCanon(f)
+			if !x.Apply(f).Equal(canon) {
+				t.Fatalf("n=%d: transform does not map f to canon", n)
+			}
+			if !x.Inverse().Apply(canon).Equal(f) {
+				t.Fatalf("n=%d: inverse transform does not recover f", n)
+			}
+		}
+	}
+}
+
+func TestNPNCanonInvariance(t *testing.T) {
+	// All NPN-equivalent functions must share the canonical form.
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + trial%2
+		f := Random(n, r)
+		canonF, _ := NPNCanon(f)
+		for k := 0; k < 10; k++ {
+			g := randTransform(n, r).Apply(f)
+			canonG, _ := NPNCanon(g)
+			if !canonF.Equal(canonG) {
+				t.Fatalf("trial %d: NPN-equivalent functions map to different canons", trial)
+			}
+		}
+	}
+}
+
+func TestNPNClassCount4(t *testing.T) {
+	// The number of NPN classes of 4-variable functions is famously 222.
+	classes := make(map[string]bool)
+	for f := 0; f < 1<<16; f++ {
+		fn := FromWords(4, []uint64{uint64(f)})
+		canon, _ := NPNCanon(fn)
+		classes[canon.Hex()] = true
+	}
+	if len(classes) != 222 {
+		t.Errorf("found %d NPN classes of 4-var functions, want 222", len(classes))
+	}
+}
+
+func TestNPNClassCount3(t *testing.T) {
+	// 3-variable functions fall into 14 NPN classes.
+	classes := make(map[string]bool)
+	for f := 0; f < 1<<8; f++ {
+		fn := FromWords(3, []uint64{uint64(f)})
+		canon, _ := NPNCanon(fn)
+		classes[canon.Hex()] = true
+	}
+	if len(classes) != 14 {
+		t.Errorf("found %d NPN classes of 3-var functions, want 14", len(classes))
+	}
+}

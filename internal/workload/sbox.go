@@ -1,0 +1,88 @@
+package workload
+
+import "repro/internal/tt"
+
+// presentSbox is the PRESENT cipher's 4-bit S-box (Bogdanov et al.,
+// CHES 2007).
+var presentSbox = [16]int{
+	0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+	0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+}
+
+// PresentSboxBit returns output bit `bit` (0..3) of the PRESENT S-box as
+// a 4-input truth table.
+func PresentSboxBit(bit int) tt.TT {
+	f := tt.New(4)
+	for x := 0; x < 16; x++ {
+		if presentSbox[x]>>uint(bit)&1 == 1 {
+			f.SetBit(x, true)
+		}
+	}
+	return f
+}
+
+// gfMul multiplies in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+func gfMul(a, b int) int {
+	p := 0
+	for i := 0; i < 8; i++ {
+		if b&1 == 1 {
+			p ^= a
+		}
+		carry := a & 0x80
+		a = (a << 1) & 0xFF
+		if carry != 0 {
+			a ^= 0x1B
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gfInv computes the multiplicative inverse in GF(2^8) (0 maps to 0),
+// via x^254.
+func gfInv(x int) int {
+	if x == 0 {
+		return 0
+	}
+	// x^254 by square-and-multiply: 254 = 0b11111110.
+	result := 1
+	base := x
+	for e := 254; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			result = gfMul(result, base)
+		}
+		base = gfMul(base, base)
+	}
+	return result
+}
+
+// aesSboxTable computes the AES S-box from first principles: GF(2^8)
+// inversion followed by the affine transform.
+func aesSboxTable() [256]int {
+	var sbox [256]int
+	for x := 0; x < 256; x++ {
+		inv := gfInv(x)
+		y := 0
+		for i := 0; i < 8; i++ {
+			bit := (inv >> uint(i)) ^ (inv >> uint((i+4)%8)) ^ (inv >> uint((i+5)%8)) ^
+				(inv >> uint((i+6)%8)) ^ (inv >> uint((i+7)%8)) ^ (0x63 >> uint(i))
+			y |= (bit & 1) << uint(i)
+		}
+		sbox[x] = y
+	}
+	return sbox
+}
+
+var aesSbox = aesSboxTable()
+
+// AESSboxBit returns output bit `bit` (0..7) of the AES S-box as an
+// 8-input truth table.
+func AESSboxBit(bit int) tt.TT {
+	f := tt.New(8)
+	for x := 0; x < 256; x++ {
+		if aesSbox[x]>>uint(bit)&1 == 1 {
+			f.SetBit(x, true)
+		}
+	}
+	return f
+}

@@ -1,0 +1,86 @@
+package xag
+
+import (
+	"repro/internal/aig"
+)
+
+// FromAIG converts an AIG into an XAG, recognizing the three-AND XOR
+// motif and mapping it to native XOR gates. The result is typically
+// smaller than the AIG on parity-heavy logic and structurally very
+// different — a new kind of diversity the AIG recipes cannot produce.
+func FromAIG(a *aig.AIG) *XAG {
+	g := New(a.NumPIs())
+	m := make([]Lit, a.NumObjs())
+	m[0] = LitFalse
+	for i := 1; i <= a.NumPIs(); i++ {
+		m[i] = MakeLit(i, false)
+	}
+	for id := a.NumPIs() + 1; id < a.NumObjs(); id++ {
+		if x, y, xnor, ok := xorMotif(a, id); ok {
+			ax := m[x.Node()].NotCond(x.IsCompl())
+			ay := m[y.Node()].NotCond(y.IsCompl())
+			m[id] = g.Xor(ax, ay).NotCond(xnor)
+			continue
+		}
+		f0, f1 := a.Fanins(id)
+		af := m[f0.Node()].NotCond(f0.IsCompl())
+		bf := m[f1.Node()].NotCond(f1.IsCompl())
+		m[id] = g.And(af, bf)
+	}
+	for i := 0; i < a.NumPOs(); i++ {
+		po := a.PO(i)
+		g.AddPO(m[po.Node()].NotCond(po.IsCompl()))
+	}
+	return g.Cleanup()
+}
+
+// xorMotif recognizes node id == AND(!AND(p,q), !AND(r,s)) where the
+// inner ANDs implement a XOR b: {p,q} == {a, !b}, {r,s} == {!a, b}.
+// Returns the XOR operands and whether id computes XNOR(a,b) (it does:
+// AND of the complemented halves is the complement of the OR, so id
+// itself is XNOR; callers complement accordingly).
+func xorMotif(a *aig.AIG, id int) (x, y aig.Lit, xnor bool, ok bool) {
+	f0, f1 := a.Fanins(id)
+	if !f0.IsCompl() || !f1.IsCompl() {
+		return 0, 0, false, false
+	}
+	n0, n1 := f0.Node(), f1.Node()
+	if !a.IsAnd(n0) || !a.IsAnd(n1) {
+		return 0, 0, false, false
+	}
+	p, q := a.Fanins(n0)
+	r, s := a.Fanins(n1)
+	// Need {p,q} and {r,s} to be {u, v} with polarities crossed:
+	// p==!r and q==!s (in some order).
+	if p == r.Not() && q == s.Not() {
+		return p, q.Not(), true, true
+	}
+	if p == s.Not() && q == r.Not() {
+		return p, q.Not(), true, true
+	}
+	return 0, 0, false, false
+}
+
+// ToAIG lowers the XAG to an AIG, expanding XOR gates into three ANDs.
+func (g *XAG) ToAIG() *aig.AIG {
+	a := aig.New(g.numPIs)
+	m := make([]aig.Lit, g.NumObjs())
+	m[0] = aig.LitFalse
+	for i := 1; i <= g.numPIs; i++ {
+		m[i] = aig.MakeLit(i, false)
+	}
+	for id := g.numPIs + 1; id < g.NumObjs(); id++ {
+		f0, f1 := g.fanin0[id], g.fanin1[id]
+		x := m[f0.Node()].NotCond(f0.IsCompl())
+		y := m[f1.Node()].NotCond(f1.IsCompl())
+		if g.kind[id] == KindAnd {
+			m[id] = a.And(x, y)
+		} else {
+			m[id] = a.Xor(x, y)
+		}
+	}
+	for _, po := range g.pos {
+		a.AddPO(m[po.Node()].NotCond(po.IsCompl()))
+	}
+	return a.Cleanup()
+}

@@ -1,0 +1,58 @@
+package xag
+
+import "math"
+
+// Profile carries the diversity artifacts of one XAG — the paper's
+// framework transplanted to the XOR-AND domain. The reduction is the
+// single-step cone-rewriting reduction ratio, the XAG counterpart of the
+// Rewrite Score's r(A).
+type Profile struct {
+	Gates     int
+	Ands      int
+	Levels    int
+	Reduction float64
+}
+
+// NewProfile profiles an XAG, running one rewriting step.
+func NewProfile(g *XAG) Profile {
+	p := Profile{Gates: g.NumGates(), Ands: g.NumAnds(), Levels: g.NumLevels()}
+	if p.Gates > 0 {
+		opt := RewriteOnce(g)
+		p.Reduction = float64(p.Gates-opt.NumGates()) / float64(p.Gates)
+	}
+	return p
+}
+
+// RGC is the Relative Gate Count difference (Eq. 2 on XAG gate counts).
+func RGC(a, b Profile) float64 {
+	den := a.Gates + b.Gates
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(float64(a.Gates-b.Gates)) / float64(den)
+}
+
+// RMC is the Relative Multiplicative Complexity difference: Eq. 2 over
+// AND counts only, the natural XAG-specific attribute (XORs are "free"
+// in many XAG cost models).
+func RMC(a, b Profile) float64 {
+	den := a.Ands + b.Ands
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(float64(a.Ands-b.Ands)) / float64(den)
+}
+
+// RLC is the Relative Level Count difference.
+func RLC(a, b Profile) float64 {
+	den := a.Levels + b.Levels
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(float64(a.Levels-b.Levels)) / float64(den)
+}
+
+// RewriteScore is Eq. 3 with the XAG cone-rewriting operator.
+func RewriteScore(a, b Profile) float64 {
+	return math.Abs(a.Reduction - b.Reduction)
+}

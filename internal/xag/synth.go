@@ -1,0 +1,176 @@
+package xag
+
+import (
+	"fmt"
+
+	"repro/internal/sop"
+	"repro/internal/tt"
+)
+
+// Recipe is a named XAG synthesis strategy — the XAG counterpart of the
+// seven AIG recipes, generating structurally diverse XAGs from one
+// specification.
+type Recipe struct {
+	Name        string
+	Description string
+	Build       func(spec []tt.TT) *XAG
+}
+
+// Recipes returns the XAG synthesis recipes in canonical order.
+func Recipes() []Recipe {
+	return []Recipe{
+		{"anf", "Reed-Muller XOR-of-ANDs expansion", SynthANF},
+		{"factored", "espresso-minimized, kernel-factored AND/OR form", SynthFactored},
+		{"shannon", "Shannon decomposition with XOR-based multiplexers", SynthShannon},
+	}
+}
+
+// Synthesize dispatches on the recipe name.
+func Synthesize(name string, spec []tt.TT) (*XAG, error) {
+	for _, r := range Recipes() {
+		if r.Name == name {
+			return r.Build(spec), nil
+		}
+	}
+	return nil, fmt.Errorf("xag: unknown recipe %q", name)
+}
+
+func checkSpec(spec []tt.TT) int {
+	if len(spec) == 0 {
+		panic("xag: empty specification")
+	}
+	n := spec[0].NumVars()
+	for _, f := range spec[1:] {
+		if f.NumVars() != n {
+			panic("xag: inconsistent arities")
+		}
+	}
+	return n
+}
+
+// SynthANF builds each output as a balanced XOR of AND monomials — the
+// native XAG form of the algebraic normal form. Dense functions use the
+// complement when sparser.
+func SynthANF(spec []tt.TT) *XAG {
+	n := checkSpec(spec)
+	g := New(n)
+	for _, f := range spec {
+		mon := f.ANF()
+		invert := false
+		if alt := f.Not().ANF(); len(alt) < len(mon) {
+			mon = alt
+			invert = true
+		}
+		g.AddPO(buildANF(g, n, mon).NotCond(invert))
+	}
+	return g.Cleanup()
+}
+
+func buildANF(g *XAG, n int, monomials []uint32) Lit {
+	terms := make([]Lit, 0, len(monomials))
+	for _, m := range monomials {
+		term := LitTrue
+		for v := 0; v < n; v++ {
+			if m>>uint(v)&1 == 1 {
+				term = g.And(term, g.PI(v))
+			}
+		}
+		terms = append(terms, term)
+	}
+	// Balanced XOR tree.
+	if len(terms) == 0 {
+		return LitFalse
+	}
+	for len(terms) > 1 {
+		var next []Lit
+		for i := 0; i+1 < len(terms); i += 2 {
+			next = append(next, g.Xor(terms[i], terms[i+1]))
+		}
+		if len(terms)%2 == 1 {
+			next = append(next, terms[len(terms)-1])
+		}
+		terms = next
+	}
+	return terms[0]
+}
+
+// SynthFactored minimizes and factors each output, building it from
+// AND/OR structure only (XOR gates appear only when strashing finds
+// them via the Mux-free construction — i.e. never; this is the
+// deliberately XOR-poor counterpoint to SynthANF).
+func SynthFactored(spec []tt.TT) *XAG {
+	n := checkSpec(spec)
+	g := New(n)
+	for _, f := range spec {
+		expr := sop.Factor(sop.MinimizeTT(f))
+		g.AddPO(buildExpr(g, expr))
+	}
+	return g.Cleanup()
+}
+
+func buildExpr(g *XAG, e *sop.Expr) Lit {
+	switch e.Kind {
+	case sop.ExprConst0:
+		return LitFalse
+	case sop.ExprConst1:
+		return LitTrue
+	case sop.ExprLit:
+		return g.PI(e.Var).NotCond(!e.Pos)
+	case sop.ExprAnd:
+		out := LitTrue
+		for _, a := range e.Args {
+			out = g.And(out, buildExpr(g, a))
+		}
+		return out
+	case sop.ExprOr:
+		out := LitFalse
+		for _, a := range e.Args {
+			out = g.Or(out, buildExpr(g, a))
+		}
+		return out
+	}
+	panic("xag: bad expression")
+}
+
+// SynthShannon decomposes by Shannon expansion using the XOR-form
+// multiplexer e XOR (s AND (t XOR e)), memoizing subfunctions.
+func SynthShannon(spec []tt.TT) *XAG {
+	n := checkSpec(spec)
+	g := New(n)
+	memo := make(map[string]Lit)
+	var rec func(f tt.TT) Lit
+	rec = func(f tt.TT) Lit {
+		if f.IsConst0() {
+			return LitFalse
+		}
+		if f.IsConst1() {
+			return LitTrue
+		}
+		key := f.Hex()
+		if l, ok := memo[key]; ok {
+			return l
+		}
+		v := bestVar(f)
+		l := g.Mux(g.PI(v), rec(f.Cofactor(v, true)), rec(f.Cofactor(v, false)))
+		memo[key] = l
+		return l
+	}
+	for _, f := range spec {
+		g.AddPO(rec(f))
+	}
+	return g.Cleanup()
+}
+
+func bestVar(f tt.TT) int {
+	best, bestScore := -1, -1
+	for v := 0; v < f.NumVars(); v++ {
+		if !f.HasVar(v) {
+			continue
+		}
+		score := f.Cofactor(v, false).Xor(f.Cofactor(v, true)).CountOnes()
+		if score > bestScore {
+			best, bestScore = v, score
+		}
+	}
+	return best
+}

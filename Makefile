@@ -1,0 +1,17 @@
+# Test tiers. tier1 is the seed gate (must always stay green); tier2
+# adds static analysis and the race detector over the concurrency-safe
+# telemetry layer and everything it instruments.
+
+.PHONY: tier1 tier2 bench
+
+tier1:
+	go build ./... && go test ./...
+
+tier2:
+	go vet ./... && go test -race ./...
+
+# bench runs every benchmark once; the pipeline benchmarks report a
+# telemetry-derived per-stage breakdown (synthesis/profiling/
+# optimization/metrics seconds per op) alongside ns/op.
+bench:
+	go test -run '^$$' -bench . -benchtime 1x .

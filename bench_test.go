@@ -10,6 +10,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/simil"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 	"repro/internal/tt"
 	"repro/internal/workload"
 )
@@ -20,9 +21,23 @@ import (
 // the full-scale version.
 // ---------------------------------------------------------------------
 
+// reportStageTimings attaches telemetry-derived per-stage wall-clock
+// metrics (synthesis-s/op, profiling-s/op, ...) to a pipeline benchmark,
+// so BENCH_*.json entries carry a stage breakdown alongside ns/op.
+func reportStageTimings(b *testing.B, reg *telemetry.Registry) {
+	b.Helper()
+	for _, st := range harness.Stages() {
+		_, sec := harness.StageSeconds(reg, st)
+		b.ReportMetric(sec/float64(b.N), st.Label+"-s/op")
+	}
+}
+
 // BenchmarkTableI measures the Table I pipeline: traditional graph
 // metrics correlated against ROD under orchestrate.
 func BenchmarkTableI(b *testing.B) {
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+	reg.Reset()
 	cfg := harness.Config{Seed: 2024, MaxInputs: 6, MaxSpecs: 3, Flows: []string{"orchestrate"}}
 	for i := 0; i < b.N; i++ {
 		res, err := harness.Run(cfg)
@@ -33,11 +48,15 @@ func BenchmarkTableI(b *testing.B) {
 			b.Fatal("empty table")
 		}
 	}
+	reportStageTimings(b, reg)
 }
 
 // BenchmarkTableII measures the Table II pipeline: the six AIG-specific
 // metrics against ROD under all three flows.
 func BenchmarkTableII(b *testing.B) {
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+	reg.Reset()
 	cfg := harness.Config{Seed: 2024, MaxInputs: 6, MaxSpecs: 3}
 	for i := 0; i < b.N; i++ {
 		res, err := harness.Run(cfg)
@@ -48,6 +67,7 @@ func BenchmarkTableII(b *testing.B) {
 			b.Fatal("empty table")
 		}
 	}
+	reportStageTimings(b, reg)
 }
 
 // BenchmarkFigure2 measures the trajectory rendering behind Figure 2.

@@ -16,28 +16,57 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/aig"
 	"repro/internal/aiger"
 	"repro/internal/lutmap"
 	"repro/internal/opt"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	script := flag.String("script", "dc2", "optimization script (see doc)")
 	seed := flag.Int64("seed", 1, "seed for randomized flows")
 	verify := flag.Bool("verify", false, "check equivalence by random simulation (and exhaustively up to 16 inputs)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address during the run")
+	eventsPath := flag.String("events", "", "append JSONL optimization events to this file")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: aigopt [-script S] [-verify] in.aag out.aag")
+		fmt.Fprintln(os.Stderr, "usage: aigopt [-script S] [-verify] [-metrics-addr A] [-events F] in.aag out.aag")
 		os.Exit(2)
 	}
+
+	var reg *telemetry.Registry
+	if *metricsAddr != "" || *eventsPath != "" {
+		reg = telemetry.Enable()
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "aigopt: serving telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	var events *telemetry.EventLogger
+	if *eventsPath != "" {
+		f, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		events = telemetry.NewEventLogger(f)
+	}
+
 	in, out := flag.Arg(0), flag.Arg(1)
 	g, err := aiger.ReadFile(in)
 	if err != nil {
 		fatal(err)
 	}
 	before := g.Stat()
+	events.Log("opt_start", map[string]any{"in": in, "script": *script, "gates": g.NumAnds()})
+	start := time.Now()
 	og, err := runScript(g, *script, *seed)
 	if err != nil {
 		fatal(err)
@@ -50,7 +79,13 @@ func main() {
 	if err := aiger.WriteFile(out, og.Cleanup()); err != nil {
 		fatal(err)
 	}
+	events.Log("opt_done", map[string]any{
+		"out": out, "gates": og.NumAnds(), "seconds": time.Since(start).Seconds(),
+	})
 	fmt.Printf("%s: %v\n%s: %v\n", in, before, out, og.Stat())
+	if reg != nil {
+		fmt.Fprintf(os.Stderr, "\n--- pass summary ---\n%s", reg.SummaryTable())
+	}
 }
 
 func runScript(g *aig.AIG, script string, seed int64) (*aig.AIG, error) {

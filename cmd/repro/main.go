@@ -6,8 +6,16 @@
 //
 // Usage:
 //
-//	repro [-seed N] [-max-inputs N] [-max-specs N] [-flows a,b] [-v]
+//	repro [-seed N] [-max-inputs N] [-max-specs N] [-flows a,b] [-v] [-quick]
 //	      [-table 1|2] [-figure 2|3] [-all] [-csv pairs.csv]
+//	      [-metrics-addr :8090] [-events run.jsonl]
+//
+// Observability: -metrics-addr serves /metrics (Prometheus), /debug/vars
+// (JSON), and /debug/pprof live during the run; -events writes one JSONL
+// event per processed spec; either flag also prints a per-stage
+// wall-clock summary to stderr at the end of the run. Telemetry is
+// entirely off (no goroutines, no overhead beyond an atomic load) unless
+// one of these flags is given.
 package main
 
 import (
@@ -16,22 +24,27 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/harness"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		seed      = flag.Int64("seed", 2024, "experiment seed")
-		maxInputs = flag.Int("max-inputs", 10, "skip specs with more inputs (paper's scalability cut)")
-		maxSpecs  = flag.Int("max-specs", 0, "truncate the suite (0 = all)")
-		flows     = flag.String("flows", "", "comma-separated flow subset (default all)")
-		verbose   = flag.Bool("v", false, "print per-spec progress")
-		table     = flag.Int("table", 0, "print only Table 1 or 2")
-		byCat     = flag.String("by-category", "", "metric whose per-category correlations to print (with -flows one flow)")
-		figure    = flag.Int("figure", 0, "print only Figure 2 or 3")
-		all       = flag.Bool("all", true, "print every artifact")
-		csvPath   = flag.String("csv", "", "write the raw pair samples to this CSV file")
+		seed        = flag.Int64("seed", 2024, "experiment seed")
+		maxInputs   = flag.Int("max-inputs", 10, "skip specs with more inputs (paper's scalability cut)")
+		maxSpecs    = flag.Int("max-specs", 0, "truncate the suite (0 = all)")
+		flows       = flag.String("flows", "", "comma-separated flow subset (default all)")
+		verbose     = flag.Bool("v", false, "print per-spec progress to stderr")
+		quick       = flag.Bool("quick", false, "reduced run (max-inputs 8, max-specs 20) for smoke tests")
+		table       = flag.Int("table", 0, "print only Table 1 or 2")
+		byCat       = flag.String("by-category", "", "metric whose per-category correlations to print (with -flows one flow)")
+		figure      = flag.Int("figure", 0, "print only Figure 2 or 3")
+		all         = flag.Bool("all", true, "print every artifact")
+		csvPath     = flag.String("csv", "", "write the raw pair samples to this CSV file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address during the run")
+		eventsPath  = flag.String("events", "", "append JSONL pipeline events to this file")
 	)
 	flag.Parse()
 
@@ -44,10 +57,27 @@ func main() {
 		return
 	}
 
+	var reg *telemetry.Registry
+	if *metricsAddr != "" || *eventsPath != "" {
+		reg = telemetry.Enable()
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "repro: serving telemetry on http://%s/metrics\n", srv.Addr())
+	}
+
 	cfg := harness.Config{
 		Seed:      *seed,
 		MaxInputs: *maxInputs,
 		MaxSpecs:  *maxSpecs,
+	}
+	if *quick {
+		cfg.MaxInputs = 8
+		cfg.MaxSpecs = 20
 	}
 	if *flows != "" {
 		cfg.Flows = strings.Split(*flows, ",")
@@ -55,9 +85,23 @@ func main() {
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}
+	if *eventsPath != "" {
+		f, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.Events = telemetry.NewEventLogger(f)
+	}
+
+	start := time.Now()
 	res, err := harness.Run(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if reg != nil {
+		fmt.Fprintf(os.Stderr, "\n--- run summary (%d specs, %d pairs) ---\n%s",
+			len(res.Specs), len(res.Pairs), harness.StageSummary(reg, time.Since(start)))
 	}
 
 	switch {

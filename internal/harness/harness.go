@@ -15,6 +15,7 @@ import (
 	"repro/internal/simil"
 	"repro/internal/stats"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -32,6 +33,11 @@ type Config struct {
 	Flows   []string
 	// Progress, when non-nil, receives one line per processed spec.
 	Progress io.Writer
+	// Events, when non-nil, receives one structured JSONL event per
+	// processed spec (plus run start/end). The human-readable Progress
+	// line is embedded in each spec event, so the two sinks are
+	// different renderings of the same record and cannot diverge.
+	Events *telemetry.EventLogger
 	// Profile tunes metric profiling.
 	Profile simil.ProfileOptions
 }
@@ -43,36 +49,50 @@ func (c Config) maxInputs() int {
 	return c.MaxInputs
 }
 
-func (c Config) recipeSet() []synth.Recipe {
+func (c Config) recipeSet() ([]synth.Recipe, error) {
 	all := synth.Recipes()
 	if c.Recipes == nil {
-		return all
+		return all, nil
 	}
 	var out []synth.Recipe
 	for _, name := range c.Recipes {
+		found := false
 		for _, r := range all {
 			if r.Name == name {
 				out = append(out, r)
+				found = true
 			}
 		}
+		if !found {
+			return nil, fmt.Errorf("harness: unknown recipe %q (have %v)", name, synth.RecipeNames())
+		}
 	}
-	return out
+	return out, nil
 }
 
-func (c Config) flowSet() []opt.Flow {
+func (c Config) flowSet() ([]opt.Flow, error) {
 	all := opt.Flows()
 	if c.Flows == nil {
-		return all
+		return all, nil
 	}
 	var out []opt.Flow
 	for _, name := range c.Flows {
+		found := false
 		for _, f := range all {
 			if f.Name == name {
 				out = append(out, f)
+				found = true
 			}
 		}
+		if !found {
+			known := make([]string, len(all))
+			for i, f := range all {
+				known[i] = f.Name
+			}
+			return nil, fmt.Errorf("harness: unknown flow %q (have %v)", name, known)
+		}
 	}
-	return out
+	return out, nil
 }
 
 // Variant is one synthesized AIG of a spec with its profile and
@@ -127,28 +147,45 @@ func specSeed(base int64, parts ...string) int64 {
 
 // Run executes the experiment.
 func Run(cfg Config) (*Result, error) {
+	runSpan := telemetry.StartSpan("harness/run")
+	defer runSpan.End()
+
 	specs := workload.FilterByInputs(workload.Suite(cfg.Seed), cfg.maxInputs())
 	if cfg.MaxSpecs > 0 && len(specs) > cfg.MaxSpecs {
 		specs = specs[:cfg.MaxSpecs]
 	}
-	recipes := cfg.recipeSet()
-	flows := cfg.flowSet()
+	recipes, err := cfg.recipeSet()
+	if err != nil {
+		return nil, err
+	}
+	flows, err := cfg.flowSet()
+	if err != nil {
+		return nil, err
+	}
 	if len(recipes) < 2 {
 		return nil, fmt.Errorf("harness: need at least 2 recipes, have %d", len(recipes))
 	}
 	if len(flows) == 0 {
 		return nil, fmt.Errorf("harness: no flows selected")
 	}
+	metrics := simil.Metrics()
 
 	res := &Result{Config: cfg}
 	for _, f := range flows {
 		res.FlowNames = append(res.FlowNames, f.Name)
 	}
-	for _, m := range simil.Metrics() {
+	for _, m := range metrics {
 		res.MetricNames = append(res.MetricNames, m.Name)
 	}
 
+	telemetry.SetGauge("harness/specs_total", float64(len(specs)))
+	cfg.Events.Log("run_start", map[string]any{
+		"seed": cfg.Seed, "specs": len(specs),
+		"recipes": len(recipes), "flows": res.FlowNames, "metrics": res.MetricNames,
+	})
+
 	for si, spec := range specs {
+		specSpan := telemetry.StartSpan("harness/spec")
 		run := SpecRun{
 			Name:     spec.Name,
 			Category: spec.Category,
@@ -187,7 +224,7 @@ func Run(cfg Config) (*Result, error) {
 					GatesA:  a.Gates,
 					GatesB:  b.Gates,
 				}
-				for _, m := range simil.Metrics() {
+				for _, m := range metrics {
 					sample.Metrics[m.Name] = m.Compute(a.Profile, b.Profile)
 				}
 				for _, flow := range flows {
@@ -196,11 +233,28 @@ func Run(cfg Config) (*Result, error) {
 				res.Pairs = append(res.Pairs, sample)
 			}
 		}
+		specSpan.End()
+		newPairs := len(run.Variants) * (len(run.Variants) - 1) / 2
+		telemetry.Add("harness/specs_done", 1)
+		telemetry.Add("harness/pairs", int64(newPairs))
+		telemetry.Add("harness/rods", int64(newPairs*len(flows)))
+
+		// One progress record, two renderings: the human-readable line
+		// (Progress) and the structured event (Events).
+		line := fmt.Sprintf("[%3d/%3d] %-22s in=%2d out=%2d pairs=%d",
+			si+1, len(specs), spec.Name, spec.NumInputs(), len(spec.Outputs), len(res.Pairs))
 		if cfg.Progress != nil {
-			fmt.Fprintf(cfg.Progress, "[%3d/%3d] %-22s in=%2d out=%2d pairs=%d\n",
-				si+1, len(specs), spec.Name, spec.NumInputs(), len(spec.Outputs), len(res.Pairs))
+			fmt.Fprintln(cfg.Progress, line)
 		}
+		cfg.Events.Log("spec_done", map[string]any{
+			"index": si + 1, "total": len(specs), "spec": spec.Name,
+			"category": spec.Category, "inputs": spec.NumInputs(),
+			"outputs": len(spec.Outputs), "pairs": len(res.Pairs), "line": line,
+		})
 	}
+	cfg.Events.Log("run_done", map[string]any{
+		"specs": len(res.Specs), "pairs": len(res.Pairs),
+	})
 	return res, nil
 }
 

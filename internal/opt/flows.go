@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/aig"
 	"repro/internal/lutmap"
+	"repro/internal/telemetry"
 )
 
 // Flow is a named high-effort optimization flow. Seed feeds any
@@ -17,11 +18,15 @@ type Flow struct {
 }
 
 // Flows returns the paper's three high-effort flows in canonical order.
+// Each flow's Run is telemetry-instrumented under "flow/<name>".
 func Flows() []Flow {
 	return []Flow{
-		{"orchestrate", "per-round best of rewrite/refactor/resub to convergence", func(g *aig.AIG, _ int64) *aig.AIG { return Orchestrate(g, 24) }},
-		{"dc2", "the classic balance/rewrite/refactor script, iterated to convergence", func(g *aig.AIG, _ int64) *aig.AIG { return DC2Converge(g) }},
-		{"deepsyn", "randomized flow search with LUT-mapping shake-ups (T=10)", func(g *aig.AIG, seed int64) *aig.AIG { return DeepSyn(g, DeepSynOptions{Effort: 10, Seed: seed}) }},
+		{"orchestrate", "per-round best of rewrite/refactor/resub to convergence",
+			instrumentFlow("orchestrate", func(g *aig.AIG, _ int64) *aig.AIG { return Orchestrate(g, 24) })},
+		{"dc2", "the classic balance/rewrite/refactor script, iterated to convergence",
+			instrumentFlow("dc2", func(g *aig.AIG, _ int64) *aig.AIG { return DC2Converge(g) })},
+		{"deepsyn", "randomized flow search with LUT-mapping shake-ups (T=10)",
+			instrumentFlow("deepsyn", func(g *aig.AIG, seed int64) *aig.AIG { return DeepSyn(g, DeepSynOptions{Effort: 10, Seed: seed}) })},
 	}
 }
 
@@ -44,6 +49,7 @@ func RunFlow(name string, g *aig.AIG, seed int64) (*aig.AIG, error) {
 func Orchestrate(g *aig.AIG, maxRounds int) *aig.AIG {
 	cur := g
 	for round := 0; round < maxRounds; round++ {
+		telemetry.Add("flow/orchestrate/rounds", 1)
 		// Resubstitution gets the first shot and is kept whenever it
 		// makes progress; the structural operators compete otherwise.
 		rs := ResubOnce(cur, ResubOptions{MaxDivisors: 150})
@@ -88,6 +94,7 @@ func Orchestrate(g *aig.AIG, maxRounds int) *aig.AIG {
 func DC2Converge(g *aig.AIG) *aig.AIG {
 	cur := g
 	for i := 0; i < 8; i++ {
+		telemetry.Add("flow/dc2/iterations", 1)
 		next := DC2(cur)
 		if next.NumAnds() >= cur.NumAnds() {
 			return cur
@@ -147,6 +154,7 @@ func DeepSyn(g *aig.AIG, opts DeepSynOptions) *aig.AIG {
 		func(a *aig.AIG) *aig.AIG { return Balance(RewriteOnce(a, RewriteOptions{})) },
 	}
 	for i := 0; i < effort; i++ {
+		telemetry.Add("flow/deepsyn/moves", 1)
 		move := moves[r.Intn(len(moves))]
 		cur = move(cur)
 		if cur.NumAnds() < best.NumAnds() {

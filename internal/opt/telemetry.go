@@ -1,0 +1,30 @@
+package opt
+
+import (
+	"repro/internal/aig"
+	"repro/internal/telemetry"
+)
+
+// instrumentPass times one optimization pass under the span
+// "opt/<name>" and records the pass's node reduction in the
+// "opt/<name>/gates_removed" histogram. All of it is a no-op until
+// telemetry is enabled.
+func instrumentPass(name string, g *aig.AIG, pass func() *aig.AIG) *aig.AIG {
+	sp := telemetry.StartSpan("opt/" + name)
+	ng := pass()
+	sp.End()
+	telemetry.Observe("opt/"+name+"/gates_removed", float64(g.NumAnds()-ng.NumAnds()))
+	return ng
+}
+
+// instrumentFlow wraps a whole high-effort flow the same way, under
+// "flow/<name>".
+func instrumentFlow(name string, run func(*aig.AIG, int64) *aig.AIG) func(*aig.AIG, int64) *aig.AIG {
+	return func(g *aig.AIG, seed int64) *aig.AIG {
+		sp := telemetry.StartSpan("flow/" + name)
+		ng := run(g, seed)
+		sp.End()
+		telemetry.Observe("flow/"+name+"/gates_removed", float64(g.NumAnds()-ng.NumAnds()))
+		return ng
+	}
+}

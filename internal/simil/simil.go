@@ -14,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/opt"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Profile holds per-AIG precomputations so that pairwise metric
@@ -65,12 +66,18 @@ func (o ProfileOptions) wlIterations() int {
 	return o.WLIterations
 }
 
-// NewProfile computes all metric artifacts for one AIG.
+// NewProfile computes all metric artifacts for one AIG. The whole
+// construction runs under the "profile/total" telemetry span, with each
+// artifact family timed by a nested child span.
 func NewProfile(a *aig.AIG, opts ProfileOptions) *Profile {
+	total := telemetry.StartSpan("profile/total")
+	defer total.End()
+
 	p := &Profile{A: a, Gates: a.NumAnds(), Levels: a.NumLevels()}
 	und := graph.FromAIG(a)
 
 	// Vertex and edge sets under the consistent node numbering.
+	sp := total.StartSpan("overlap")
 	p.vertices = make(map[int]bool)
 	p.edges = make(map[[2]int]bool)
 	for id := 1; id < a.NumObjs(); id++ {
@@ -79,22 +86,31 @@ func NewProfile(a *aig.AIG, opts ProfileOptions) *Profile {
 	for _, e := range und.Edges() {
 		p.edges[e] = true
 	}
+	sp.End()
 
 	// NetSimile signature.
+	sp = total.StartSpan("netsimile")
 	feats := und.NetSimileFeatures()
 	for fi := 0; fi < 7; fi++ {
 		agg := stats.Aggregate(feats[fi][1:]) // node 0 (constant) excluded
 		copy(p.features[fi*5:fi*5+5], agg[:])
 	}
+	sp.End()
 
 	// Weisfeiler-Lehman label histogram.
+	sp = total.StartSpan("wl")
 	p.wlHist = wlHistogram(und, opts.wlIterations())
+	sp.End()
 
 	// Adjacency spectrum.
+	sp = total.StartSpan("spectrum")
 	p.spectrum = und.TopEigenvalues(opts.spectrumK(), opts.Seed+1)
+	sp.End()
 
 	if !opts.SkipOptScores {
+		sp = total.StartSpan("optscores")
 		p.reductions = OptReductions(a)
+		sp.End()
 	}
 	return p
 }
@@ -318,8 +334,10 @@ type Metric struct {
 
 // Metrics returns all eleven pairwise measures in the paper's order
 // (Table I then Table II, with the three operator scores and RRR).
+// Each metric's Compute is telemetry-instrumented under
+// "metric/<name>".
 func Metrics() []Metric {
-	return []Metric{
+	ms := []Metric{
 		{"VEO", Traditional, true, VEO},
 		{"NetSimile", Traditional, false, NetSimile},
 		{"WLKernel", Traditional, true, WLKernel},
@@ -331,6 +349,16 @@ func Metrics() []Metric {
 		{"ResubScore", AIGSpecific, false, ResubScore},
 		{"RRRScore", AIGSpecific, false, RRRScore},
 	}
+	for i := range ms {
+		name, compute := ms[i].Name, ms[i].Compute
+		ms[i].Compute = func(p1, p2 *Profile) float64 {
+			sp := telemetry.StartSpan("metric/" + name)
+			v := compute(p1, p2)
+			sp.End()
+			return v
+		}
+	}
+	return ms
 }
 
 // MetricByName returns the named metric.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/aig"
 	"repro/internal/bdd"
 	"repro/internal/sop"
+	"repro/internal/telemetry"
 	"repro/internal/tt"
 )
 
@@ -21,16 +22,30 @@ type Recipe struct {
 	Build       func(spec []tt.TT) *aig.AIG
 }
 
-// Recipes returns the seven synthesis recipes in canonical order.
+// Recipes returns the seven synthesis recipes in canonical order. Each
+// recipe's Build is telemetry-instrumented under "synth/<name>".
 func Recipes() []Recipe {
 	return []Recipe{
-		{"sop", "two-level ISOP, balanced AND-OR trees", SynthSOP},
-		{"esp", "espresso-minimized SOP, chained trees", SynthEspresso},
-		{"fx", "minimized SOP with algebraic factoring", SynthFactored},
-		{"bdd", "sifted ROBDD converted to a MUX tree", SynthBDD},
-		{"shannon", "free-order Shannon decomposition", SynthShannon},
-		{"dsd", "disjoint-support decomposition with Shannon fallback", SynthDSD},
-		{"anf", "Reed-Muller XOR-of-ANDs (ANF) expansion", SynthANF},
+		{"sop", "two-level ISOP, balanced AND-OR trees", instrumentBuild("sop", SynthSOP)},
+		{"esp", "espresso-minimized SOP, chained trees", instrumentBuild("esp", SynthEspresso)},
+		{"fx", "minimized SOP with algebraic factoring", instrumentBuild("fx", SynthFactored)},
+		{"bdd", "sifted ROBDD converted to a MUX tree", instrumentBuild("bdd", SynthBDD)},
+		{"shannon", "free-order Shannon decomposition", instrumentBuild("shannon", SynthShannon)},
+		{"dsd", "disjoint-support decomposition with Shannon fallback", instrumentBuild("dsd", SynthDSD)},
+		{"anf", "Reed-Muller XOR-of-ANDs (ANF) expansion", instrumentBuild("anf", SynthANF)},
+	}
+}
+
+// instrumentBuild times one synthesis recipe under the span
+// "synth/<name>" and records the produced AIG's size in the
+// "synth/<name>/gates" histogram (no-op until telemetry is enabled).
+func instrumentBuild(name string, build func(spec []tt.TT) *aig.AIG) func(spec []tt.TT) *aig.AIG {
+	return func(spec []tt.TT) *aig.AIG {
+		sp := telemetry.StartSpan("synth/" + name)
+		g := build(spec)
+		sp.End()
+		telemetry.Observe("synth/"+name+"/gates", float64(g.NumAnds()))
+		return g
 	}
 }
 

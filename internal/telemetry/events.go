@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventLogger writes structured pipeline events as JSONL: one JSON
+// object per line with "ts" (RFC3339Nano) and "event" keys plus the
+// caller's fields (keys emitted in sorted order). A nil logger is a
+// no-op, so call sites need no telemetry-enabled guard.
+type EventLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewEventLogger wraps a writer. The caller keeps ownership of the
+// writer (close files yourself after the run).
+func NewEventLogger(w io.Writer) *EventLogger {
+	if w == nil {
+		return nil
+	}
+	return &EventLogger{w: w}
+}
+
+// Log emits one event line. Field keys "ts" and "event" are reserved
+// and overwritten if present.
+func (l *EventLogger) Log(event string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	doc := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		doc[k] = v
+	}
+	doc["ts"] = now().UTC().Format(time.RFC3339Nano)
+	doc["event"] = event
+	line, err := json.Marshal(doc)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(append(line, '\n'))
+}

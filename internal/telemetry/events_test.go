@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventLoggerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLogger(&buf)
+	l.Log("run_start", map[string]any{"seed": 7, "specs": 3})
+	l.Log("spec_done", map[string]any{"spec": "fulladder", "line": "[1/3] fulladder"})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if first["event"] != "run_start" || first["seed"] != float64(7) {
+		t.Fatalf("bad first event: %v", first)
+	}
+	if _, ok := first["ts"]; !ok {
+		t.Fatal("missing ts")
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second["line"] != "[1/3] fulladder" {
+		t.Fatalf("bad embedded progress line: %v", second)
+	}
+}
+
+func TestEventLoggerNil(t *testing.T) {
+	var l *EventLogger
+	l.Log("x", nil) // must not panic
+	if NewEventLogger(nil) != nil {
+		t.Fatal("nil writer should give nil logger")
+	}
+}
+
+func TestEventLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLogger(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Log("tick", map[string]any{"w": w, "i": i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, line := range lines {
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			t.Fatalf("interleaved write produced bad JSON: %v", err)
+		}
+	}
+}

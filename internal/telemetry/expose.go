@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// metricPrefix namespaces every exposed Prometheus family.
+const metricPrefix = "repro_"
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Counters become <prefix><name>_total, gauges
+// <prefix><name>, histograms full histogram families with _min/_max
+// companion gauges, and all spans share one repro_span_seconds family
+// keyed by a span label.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+
+	r.mu.RLock()
+	counterNames := names(r.counters)
+	gaugeNames := names(r.gauges)
+	histNames := names(r.hists)
+	spanNames := names(r.spans)
+	r.mu.RUnlock()
+
+	fmt.Fprintf(&b, "# TYPE %suptime_seconds gauge\n", metricPrefix)
+	fmt.Fprintf(&b, "%suptime_seconds %s\n", metricPrefix, formatFloat(r.Uptime().Seconds()))
+
+	for _, name := range counterNames {
+		m := metricPrefix + sanitizeName(name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", m, m, r.Counter(name).Value())
+	}
+	for _, name := range gaugeNames {
+		m := metricPrefix + sanitizeName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", m, m, formatFloat(r.Gauge(name).Value()))
+	}
+	for _, name := range histNames {
+		writeHistogram(&b, metricPrefix+sanitizeName(name), "", r.Histogram(name).Snapshot())
+	}
+	if len(spanNames) > 0 {
+		fmt.Fprintf(&b, "# TYPE %sspan_seconds histogram\n", metricPrefix)
+		for _, name := range spanNames {
+			writeHistogram(&b, metricPrefix+"span_seconds", name, r.SpanStats(name))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits one histogram series. A non-empty label value
+// attaches span="<label>" to every sample (used by the shared span
+// family); family TYPE lines for labeled series are emitted by the
+// caller once.
+func writeHistogram(b *strings.Builder, family, label string, s HistogramSnapshot) {
+	sel := ""
+	if label != "" {
+		sel = `{span="` + label + `"}`
+	} else {
+		fmt.Fprintf(b, "# TYPE %s histogram\n", family)
+	}
+	cum := int64(0)
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if i < histBuckets-1 {
+			fmt.Fprintf(b, "%s_bucket%s %d\n", family, leSelector(label, BucketUpper(i)), cum)
+		}
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", family, leSelector(label, math.Inf(1)), s.Count)
+	fmt.Fprintf(b, "%s_sum%s %s\n", family, sel, formatFloat(s.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", family, sel, s.Count)
+	if s.Count > 0 {
+		fmt.Fprintf(b, "%s_min%s %s\n", family, sel, formatFloat(s.Min))
+		fmt.Fprintf(b, "%s_max%s %s\n", family, sel, formatFloat(s.Max))
+	}
+}
+
+func leSelector(label string, le float64) string {
+	bound := "+Inf"
+	if !math.IsInf(le, 1) {
+		bound = formatFloat(le)
+	}
+	if label == "" {
+		return `{le="` + bound + `"}`
+	}
+	return `{span="` + label + `",le="` + bound + `"}`
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sanitizeName maps a registry name onto the Prometheus metric-name
+// alphabet ([a-zA-Z0-9_]).
+func sanitizeName(name string) string {
+	out := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			out[i] = c
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// jsonHistogram is the JSON shape of one distribution.
+type jsonHistogram struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+func toJSONHistogram(s HistogramSnapshot) jsonHistogram {
+	h := jsonHistogram{Count: s.Count, Sum: s.Sum, Mean: s.Mean()}
+	if s.Count > 0 { // leave Min/Max zero when empty: JSON has no Inf
+		h.Min, h.Max = s.Min, s.Max
+	}
+	return h
+}
+
+// WriteJSON renders the registry as one indented JSON document (the
+// /debug/vars payload). Keys are sorted, so output is deterministic for
+// a given registry state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	doc := struct {
+		UptimeSeconds float64                  `json:"uptime_seconds"`
+		Counters      map[string]int64         `json:"counters"`
+		Gauges        map[string]float64       `json:"gauges"`
+		Histograms    map[string]jsonHistogram `json:"histograms"`
+		Spans         map[string]jsonHistogram `json:"spans"`
+	}{
+		UptimeSeconds: r.Uptime().Seconds(),
+		Counters:      make(map[string]int64),
+		Gauges:        make(map[string]float64),
+		Histograms:    make(map[string]jsonHistogram),
+		Spans:         make(map[string]jsonHistogram),
+	}
+	r.mu.RLock()
+	counterNames := names(r.counters)
+	gaugeNames := names(r.gauges)
+	histNames := names(r.hists)
+	spanNames := names(r.spans)
+	r.mu.RUnlock()
+	for _, name := range counterNames {
+		doc.Counters[name] = r.Counter(name).Value()
+	}
+	for _, name := range gaugeNames {
+		doc.Gauges[name] = r.Gauge(name).Value()
+	}
+	for _, name := range histNames {
+		doc.Histograms[name] = toJSONHistogram(r.Histogram(name).Snapshot())
+	}
+	for _, name := range spanNames {
+		doc.Spans[name] = toJSONHistogram(r.SpanStats(name))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a fixed registry state under a frozen clock so
+// both exposition formats are byte-for-byte reproducible.
+func goldenRegistry(t *testing.T) *Registry {
+	t.Helper()
+	base := time.Date(2025, 1, 2, 3, 4, 5, 0, time.UTC)
+	now = func() time.Time { return base }
+	t.Cleanup(func() { now = time.Now })
+	r := NewRegistry()
+	now = func() time.Time { return base.Add(2500 * time.Millisecond) }
+
+	r.Counter("harness/specs_done").Add(3)
+	r.Counter("harness/pairs").Add(63)
+	r.Gauge("harness/specs_total").Set(20)
+	h := r.Histogram("flow/dc2/gates_removed")
+	for _, v := range []float64{0, 4, 12, 12, 40} {
+		h.Observe(v)
+	}
+	r.RecordSpan("synth/sop", 1500*time.Microsecond)
+	r.RecordSpan("synth/sop", 2*time.Millisecond)
+	r.RecordSpan("flow/dc2", 80*time.Millisecond)
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch (run with -update to regenerate)\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := goldenRegistry(t)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom.golden", buf.Bytes())
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	r := goldenRegistry(t)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Guard against golden drift that is still valid JSON but broken.
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	checkGolden(t, "metrics.json.golden", buf.Bytes())
+}
+
+func TestWriteNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil prometheus = %q, %v", buf.String(), err)
+	}
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil || buf.String() != "{}\n" {
+		t.Fatalf("nil json = %q, %v", buf.String(), err)
+	}
+}

@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(2)
+	r.RecordSpan("synth/sop", 3*time.Millisecond)
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "repro_hits_total 2") ||
+		!strings.Contains(body, `repro_span_seconds_count{span="synth/sop"} 1`) {
+		t.Fatalf("unexpected /metrics body:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, `"hits": 2`) {
+		t.Fatalf("unexpected /debug/vars body:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("unexpected pprof index:\n%s", body)
+	}
+}

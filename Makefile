@@ -1,14 +1,24 @@
 # Test tiers. tier1 is the seed gate (must always stay green); tier2
 # adds static analysis and the race detector over the concurrency-safe
-# telemetry layer and everything it instruments.
+# telemetry layer and everything it instruments — including the
+# fault-tolerance suite (checkpoint/resume byte-identity, panic
+# quarantine, equivalence guards) in internal/harness.
 
-.PHONY: tier1 tier2 bench
+.PHONY: tier1 tier2 bench fuzz
 
 tier1:
 	go build ./... && go test ./...
 
 tier2:
 	go vet ./... && go test -race ./...
+
+# fuzz hammers the AIGER parser with coverage-guided random inputs;
+# the target asserts parse-or-error (never panic) plus write/read
+# round-trip equivalence. Override the budget with FUZZTIME=1m.
+FUZZTIME ?= 10s
+
+fuzz:
+	go test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/aiger
 
 # bench runs every benchmark once; the pipeline benchmarks report a
 # telemetry-derived per-stage breakdown (synthesis/profiling/

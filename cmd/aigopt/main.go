@@ -9,13 +9,21 @@
 // Script atoms: b (balance), rw/rwz (rewrite / zero-cost), rf/rfz
 // (refactor), rs/rsz (resub), lut4/lut6 (LUT round trip), or a flow name
 // (orchestrate, dc2, deepsyn, compress).
+//
+// SIGINT/SIGTERM stop the script gracefully: the flow in progress
+// returns its best equivalent AIG so far, remaining atoms are skipped,
+// and the output file is still written. -flow-timeout bounds each flow
+// atom's wall clock the same way.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/aig"
@@ -31,9 +39,10 @@ func main() {
 	verify := flag.Bool("verify", false, "check equivalence by random simulation (and exhaustively up to 16 inputs)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address during the run")
 	eventsPath := flag.String("events", "", "append JSONL optimization events to this file")
+	flowTimeout := flag.Duration("flow-timeout", 0, "wall-clock budget per flow atom (0 = unbounded)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: aigopt [-script S] [-verify] [-metrics-addr A] [-events F] in.aag out.aag")
+		fmt.Fprintln(os.Stderr, "usage: aigopt [-script S] [-verify] [-metrics-addr A] [-events F] [-flow-timeout D] in.aag out.aag")
 		os.Exit(2)
 	}
 
@@ -50,14 +59,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aigopt: serving telemetry on http://%s/metrics\n", srv.Addr())
 	}
 	var events *telemetry.EventLogger
+	var eventsFile *os.File
 	if *eventsPath != "" {
 		f, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		eventsFile = f
 		events = telemetry.NewEventLogger(f)
 	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "aigopt: %v received, finishing with the best AIG so far (send again to abort)\n", s)
+		cancel()
+		if _, ok := <-sigc; ok {
+			fmt.Fprintln(os.Stderr, "aigopt: aborting")
+			os.Exit(130)
+		}
+	}()
 
 	in, out := flag.Arg(0), flag.Arg(1)
 	g, err := aiger.ReadFile(in)
@@ -67,9 +94,14 @@ func main() {
 	before := g.Stat()
 	events.Log("opt_start", map[string]any{"in": in, "script": *script, "gates": g.NumAnds()})
 	start := time.Now()
-	og, err := runScript(g, *script, *seed)
+	og, err := runScript(ctx, g, *script, *seed, *flowTimeout)
 	if err != nil {
 		fatal(err)
+	}
+	signal.Stop(sigc)
+	close(sigc)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "aigopt: interrupted; writing the best AIG reached so far")
 	}
 	if *verify {
 		if err := verifyEquiv(g, og); err != nil {
@@ -81,16 +113,38 @@ func main() {
 	}
 	events.Log("opt_done", map[string]any{
 		"out": out, "gates": og.NumAnds(), "seconds": time.Since(start).Seconds(),
+		"interrupted": ctx.Err() != nil,
 	})
 	fmt.Printf("%s: %v\n%s: %v\n", in, before, out, og.Stat())
 	if reg != nil {
 		fmt.Fprintf(os.Stderr, "\n--- pass summary ---\n%s", reg.SummaryTable())
 	}
+	if eventsFile != nil {
+		if err := events.Err(); err != nil {
+			fatal(fmt.Errorf("writing events to %s: %w", *eventsPath, err))
+		}
+		if err := eventsFile.Close(); err != nil {
+			fatal(fmt.Errorf("closing events file %s: %w", *eventsPath, err))
+		}
+	}
 }
 
-func runScript(g *aig.AIG, script string, seed int64) (*aig.AIG, error) {
+// runScript applies the script atoms left to right. Cancellation stops
+// between atoms (and inside flow convergence loops); each flow atom
+// additionally runs under its own wall-clock budget when flowTimeout is
+// set.
+func runScript(ctx context.Context, g *aig.AIG, script string, seed int64, flowTimeout time.Duration) (*aig.AIG, error) {
+	flowCtx := func() (context.Context, context.CancelFunc) {
+		if flowTimeout <= 0 {
+			return ctx, func() {}
+		}
+		return context.WithTimeout(ctx, flowTimeout)
+	}
 	cur := g
 	for _, atom := range strings.Split(script, ";") {
+		if ctx.Err() != nil {
+			return cur, nil
+		}
 		atom = strings.TrimSpace(atom)
 		if atom == "" {
 			continue
@@ -115,9 +169,13 @@ func runScript(g *aig.AIG, script string, seed int64) (*aig.AIG, error) {
 		case "lut6":
 			cur = lutmap.RoundTrip(cur, lutmap.Options{K: 6})
 		case "compress":
-			cur = opt.CompressToConvergence(cur)
+			fctx, cancel := flowCtx()
+			cur = opt.CompressToConvergence(fctx, cur)
+			cancel()
 		default:
-			ng, err := opt.RunFlow(atom, cur, seed)
+			fctx, cancel := flowCtx()
+			ng, err := opt.RunFlowContext(fctx, atom, cur, seed)
+			cancel()
 			if err != nil {
 				return nil, fmt.Errorf("unknown script atom %q", atom)
 			}

@@ -9,6 +9,7 @@
 //	repro [-seed N] [-max-inputs N] [-max-specs N] [-flows a,b] [-v] [-quick]
 //	      [-table 1|2] [-figure 2|3] [-all] [-csv pairs.csv]
 //	      [-metrics-addr :8090] [-events run.jsonl]
+//	      [-checkpoint run.ckpt] [-resume] [-flow-timeout 30s]
 //
 // Observability: -metrics-addr serves /metrics (Prometheus), /debug/vars
 // (JSON), and /debug/pprof live during the run; -events writes one JSONL
@@ -16,14 +17,25 @@
 // wall-clock summary to stderr at the end of the run. Telemetry is
 // entirely off (no goroutines, no overhead beyond an atomic load) unless
 // one of these flags is given.
+//
+// Robustness: SIGINT/SIGTERM cancel the run gracefully — the spec in
+// flight is abandoned and tables/CSV are emitted from the completed
+// prefix. -checkpoint appends each completed spec to a JSONL file;
+// -resume replays it and continues from the first missing spec,
+// reproducing the uninterrupted run byte for byte. -flow-timeout bounds
+// each optimization flow's wall clock. Variants that panic or fail
+// functional-equivalence verification are quarantined and reported in
+// the run summary instead of crashing the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/harness"
@@ -45,6 +57,9 @@ func main() {
 		csvPath     = flag.String("csv", "", "write the raw pair samples to this CSV file")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address during the run")
 		eventsPath  = flag.String("events", "", "append JSONL pipeline events to this file")
+		ckptPath    = flag.String("checkpoint", "", "append each completed spec to this JSONL checkpoint file")
+		resume      = flag.Bool("resume", false, "replay the -checkpoint file and continue from the first missing spec")
+		flowTimeout = flag.Duration("flow-timeout", 0, "wall-clock budget per flow invocation (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -55,6 +70,9 @@ func main() {
 		}
 		fmt.Print(out)
 		return
+	}
+	if *resume && *ckptPath == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
 	}
 
 	var reg *telemetry.Registry
@@ -71,13 +89,22 @@ func main() {
 	}
 
 	cfg := harness.Config{
-		Seed:      *seed,
-		MaxInputs: *maxInputs,
-		MaxSpecs:  *maxSpecs,
+		Seed:        *seed,
+		MaxInputs:   *maxInputs,
+		MaxSpecs:    *maxSpecs,
+		FlowTimeout: *flowTimeout,
 	}
 	if *quick {
-		cfg.MaxInputs = 8
-		cfg.MaxSpecs = 20
+		// -quick supplies defaults only: flags the user set explicitly
+		// win over it.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["max-inputs"] {
+			cfg.MaxInputs = 8
+		}
+		if !explicit["max-specs"] {
+			cfg.MaxSpecs = 20
+		}
 	}
 	if *flows != "" {
 		cfg.Flows = strings.Split(*flows, ",")
@@ -85,23 +112,62 @@ func main() {
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}
+	var eventsFile *os.File
 	if *eventsPath != "" {
 		f, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		eventsFile = f
 		cfg.Events = telemetry.NewEventLogger(f)
 	}
+	if *ckptPath != "" {
+		ckpt, records, err := harness.OpenCheckpoint(*ckptPath, cfg, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Checkpoint = ckpt
+		cfg.Resume = records
+		if *resume {
+			fmt.Fprintf(os.Stderr, "repro: resuming %d checkpointed specs from %s\n", len(records), *ckptPath)
+		}
+	}
+
+	// SIGINT/SIGTERM cancel the run after the spec in flight; a second
+	// signal aborts immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "repro: %v received, stopping after the current spec (send again to abort)\n", s)
+		cancel()
+		if _, ok := <-sigc; ok {
+			fmt.Fprintln(os.Stderr, "repro: aborting")
+			os.Exit(130)
+		}
+	}()
 
 	start := time.Now()
-	res, err := harness.Run(cfg)
+	res, err := harness.RunContext(ctx, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	signal.Stop(sigc)
+	close(sigc)
+	if res.Interrupted {
+		fmt.Fprintf(os.Stderr, "repro: interrupted after %d specs; emitting partial results\n", len(res.Specs))
 	}
 	if reg != nil {
 		fmt.Fprintf(os.Stderr, "\n--- run summary (%d specs, %d pairs) ---\n%s",
 			len(res.Specs), len(res.Pairs), harness.StageSummary(reg, time.Since(start)))
+	}
+	if fs := res.FailureSummary(); fs != "" {
+		fmt.Fprint(os.Stderr, fs)
 	}
 
 	switch {
@@ -129,6 +195,17 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d pair samples to %s\n", len(res.Pairs), *csvPath)
 	}
+	if err := cfg.Checkpoint.Close(); err != nil {
+		fatal(fmt.Errorf("closing checkpoint %s: %w", *ckptPath, err))
+	}
+	if eventsFile != nil {
+		if err := cfg.Events.Err(); err != nil {
+			fatal(fmt.Errorf("writing events to %s: %w", *eventsPath, err))
+		}
+		if err := eventsFile.Close(); err != nil {
+			fatal(fmt.Errorf("closing events file %s: %w", *eventsPath, err))
+		}
+	}
 }
 
 // summaryOnlyFigure3 prints Figure 3's statistics without the full point
@@ -142,32 +219,19 @@ func summaryOnlyFigure3(res *harness.Result) string {
 	return strings.Join(lines[:3], "\n") + "\n(run with -figure 3 for the full scatter series)\n"
 }
 
+// writeCSV writes the pair samples, surfacing write and close errors so
+// a full disk cannot silently truncate results_pairs.csv.
 func writeCSV(path string, res *harness.Result) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	metricNames := append([]string(nil), res.MetricNames...)
-	sort.Strings(metricNames)
-	flowNames := append([]string(nil), res.FlowNames...)
-	fmt.Fprintf(f, "spec,recipeA,recipeB,gatesA,gatesB")
-	for _, m := range metricNames {
-		fmt.Fprintf(f, ",%s", m)
+	if err := harness.WriteCSV(f, res); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
 	}
-	for _, fl := range flowNames {
-		fmt.Fprintf(f, ",ROD_%s", fl)
-	}
-	fmt.Fprintln(f)
-	for _, p := range res.Pairs {
-		fmt.Fprintf(f, "%s,%s,%s,%d,%d", p.Spec, p.RecipeA, p.RecipeB, p.GatesA, p.GatesB)
-		for _, m := range metricNames {
-			fmt.Fprintf(f, ",%.6f", p.Metrics[m])
-		}
-		for _, fl := range flowNames {
-			fmt.Fprintf(f, ",%.6f", p.ROD[fl])
-		}
-		fmt.Fprintln(f)
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", path, err)
 	}
 	return nil
 }

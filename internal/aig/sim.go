@@ -75,6 +75,28 @@ func Equivalent(a, b *AIG) (int, error) {
 	return -1, nil
 }
 
+// EquivalentToTTs reports whether the AIG computes exactly the given
+// output truth tables, by exhaustive simulation. It returns the index of
+// the first differing output, or -1 when every output matches. This is
+// the harness's load-bearing guardrail: every synthesized and optimized
+// AIG is checked against its specification before it may contribute to
+// the diversity analysis.
+func (g *AIG) EquivalentToTTs(spec []tt.TT) (int, error) {
+	if len(spec) != g.NumPOs() {
+		return -1, fmt.Errorf("aig: PO count mismatch: %d vs %d spec outputs", g.NumPOs(), len(spec))
+	}
+	if len(spec) > 0 && spec[0].NumVars() != g.NumPIs() {
+		return -1, fmt.Errorf("aig: PI count mismatch: %d vs %d spec vars", g.NumPIs(), spec[0].NumVars())
+	}
+	tabs := g.OutputTTs()
+	for i := range tabs {
+		if !tabs[i].Equal(spec[i]) {
+			return i, nil
+		}
+	}
+	return -1, nil
+}
+
 // SimVector simulates the AIG on 64 input patterns packed bitwise: pat[i]
 // holds the 64 values of PI i. The result holds one word per node, plus
 // the complement convention of SimAll.

@@ -16,6 +16,12 @@ import (
 	"repro/internal/aig"
 )
 
+// maxHeaderCount bounds every header field so a malformed or hostile
+// header (e.g. "aag 2000000000 ...") cannot make the parser allocate
+// gigabytes before reading a single definition line. Real AIGs in this
+// framework are orders of magnitude smaller.
+const maxHeaderCount = 1 << 20
+
 // Read parses an AIGER stream, auto-detecting the ASCII or binary variant
 // from the header.
 func Read(r io.Reader) (*aig.AIG, error) {
@@ -33,6 +39,9 @@ func Read(r io.Reader) (*aig.AIG, error) {
 		n, err := strconv.Atoi(fields[i+1])
 		if err != nil || n < 0 {
 			return nil, fmt.Errorf("aiger: bad header field %q", fields[i+1])
+		}
+		if n > maxHeaderCount {
+			return nil, fmt.Errorf("aiger: header count %d exceeds limit %d", n, maxHeaderCount)
 		}
 		nums[i] = n
 	}

@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV writes the raw pair samples — the unit of analysis behind
+// Table I/II and Figure 3 — as CSV: one row per (spec, recipeA,
+// recipeB) with every metric and per-flow ROD column. The first write
+// or flush error is returned, so a full disk truncating the file is
+// reported instead of silently producing a short results_pairs.csv.
+func WriteCSV(w io.Writer, r *Result) error {
+	bw := bufio.NewWriter(w)
+	metricNames := append([]string(nil), r.MetricNames...)
+	sort.Strings(metricNames)
+	flowNames := append([]string(nil), r.FlowNames...)
+	fmt.Fprintf(bw, "spec,recipeA,recipeB,gatesA,gatesB")
+	for _, m := range metricNames {
+		fmt.Fprintf(bw, ",%s", m)
+	}
+	for _, fl := range flowNames {
+		fmt.Fprintf(bw, ",ROD_%s", fl)
+	}
+	fmt.Fprintln(bw)
+	for _, p := range r.Pairs {
+		fmt.Fprintf(bw, "%s,%s,%s,%d,%d", p.Spec, p.RecipeA, p.RecipeB, p.GatesA, p.GatesB)
+		for _, m := range metricNames {
+			fmt.Fprintf(bw, ",%.6f", p.Metrics[m])
+		}
+		for _, fl := range flowNames {
+			fmt.Fprintf(bw, ",%.6f", p.ROD[fl])
+		}
+		fmt.Fprintln(bw)
+	}
+	// bufio retains the first underlying write error; Flush surfaces it.
+	return bw.Flush()
+}

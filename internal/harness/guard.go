@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/aig"
+	"repro/internal/opt"
+	"repro/internal/simil"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+	"repro/internal/tt"
+	"repro/internal/workload"
+)
+
+// Failure records one quarantined variant: a recipe build or flow run
+// that panicked, or an AIG that failed functional-equivalence
+// verification against its specification. Quarantined variants
+// contribute no pair samples; the rest of the run proceeds.
+type Failure struct {
+	Spec   string `json:"spec"`
+	Recipe string `json:"recipe"`
+	Flow   string `json:"flow,omitempty"`
+	Reason string `json:"reason"`
+}
+
+func (f Failure) String() string {
+	loc := f.Recipe
+	if f.Flow != "" {
+		loc += "/" + f.Flow
+	}
+	return fmt.Sprintf("%s %s: %s", f.Spec, loc, f.Reason)
+}
+
+// FailureSummary renders the run's quarantined variants, one per line,
+// for the end-of-run report. Empty when nothing was quarantined.
+func (r *Result) FailureSummary() string {
+	if len(r.Failures) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "quarantined variants: %d\n", len(r.Failures))
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}
+
+// recoverTo converts a panic into an error on *err and counts it, so
+// one crashing variant cannot abort a multi-hour batch run.
+func recoverTo(err *error, what string) {
+	if r := recover(); r != nil {
+		telemetry.Add("harness/panics_recovered", 1)
+		*err = fmt.Errorf("panic in %s: %v", what, r)
+	}
+}
+
+// safeBuild runs one synthesis recipe with panic isolation.
+func safeBuild(rec synth.Recipe, spec []tt.TT) (g *aig.AIG, err error) {
+	defer recoverTo(&err, "recipe "+rec.Name)
+	return rec.Build(spec), nil
+}
+
+// safeProfile computes the similarity profile with panic isolation.
+func safeProfile(g *aig.AIG, opts simil.ProfileOptions) (p *simil.Profile, err error) {
+	defer recoverTo(&err, "profile")
+	return simil.NewProfile(g, opts), nil
+}
+
+// safeFlow runs one optimization flow with panic isolation.
+func safeFlow(ctx context.Context, flow opt.Flow, g *aig.AIG, seed int64) (og *aig.AIG, err error) {
+	defer recoverTo(&err, "flow "+flow.Name)
+	return flow.RunCtx(ctx, g, seed), nil
+}
+
+// flowContext derives the per-flow wall-clock budget context.
+func (c Config) flowContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.FlowTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.FlowTimeout)
+}
+
+// buildVariant synthesizes, verifies, profiles, and optimizes one
+// (spec, recipe) variant. Every synthesized AIG is checked against the
+// spec truth tables and every optimized AIG against the synthesized one
+// — the invariant the whole ROD analysis rests on. Any panic or
+// equivalence violation quarantines the variant: the returned Failure
+// describes it and the Variant is nil.
+func (c Config) buildVariant(ctx context.Context, spec workload.Spec, rec synth.Recipe, flows []opt.Flow) (*Variant, *Failure) {
+	fail := func(flowName, reason string) (*Variant, *Failure) {
+		return nil, &Failure{Spec: spec.Name, Recipe: rec.Name, Flow: flowName, Reason: reason}
+	}
+	g, err := safeBuild(rec, spec.Outputs)
+	if err != nil {
+		return fail("", err.Error())
+	}
+	if idx, err := g.EquivalentToTTs(spec.Outputs); err != nil || idx >= 0 {
+		telemetry.Add("harness/equiv_failures", 1)
+		if err == nil {
+			err = fmt.Errorf("synthesized AIG differs from spec on output %d", idx)
+		}
+		return fail("", err.Error())
+	}
+	v := &Variant{
+		Recipe:    rec.Name,
+		Gates:     g.NumAnds(),
+		Levels:    g.NumLevels(),
+		FlowGates: make(map[string]int, len(flows)),
+	}
+	popts := c.Profile
+	popts.Seed = specSeed(c.Seed, spec.Name, rec.Name)
+	if v.Profile, err = safeProfile(g, popts); err != nil {
+		return fail("", err.Error())
+	}
+	for _, flow := range flows {
+		fctx, cancel := c.flowContext(ctx)
+		og, err := safeFlow(fctx, flow, g, specSeed(c.Seed, spec.Name, rec.Name, flow.Name))
+		if err == nil && fctx.Err() != nil && ctx.Err() == nil {
+			// The flow's own budget expired (not a run-level cancel): it
+			// degraded to its best AIG so far; count it and keep going.
+			telemetry.Add("harness/flow_timeouts", 1)
+		}
+		cancel()
+		if err != nil {
+			return fail(flow.Name, err.Error())
+		}
+		if idx, err := aig.Equivalent(g, og); err != nil || idx >= 0 {
+			telemetry.Add("harness/equiv_failures", 1)
+			if err == nil {
+				err = fmt.Errorf("optimized AIG differs from synthesized AIG on output %d", idx)
+			}
+			return fail(flow.Name, err.Error())
+		}
+		v.FlowGates[flow.Name] = og.NumAnds()
+	}
+	return v, nil
+}

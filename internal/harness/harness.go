@@ -3,13 +3,22 @@
 // optimize with the three high-effort flows, compute pairwise metrics and
 // the Relative Optimizability Difference, and correlate (Pearson + Fisher
 // CIs). Its outputs regenerate Table I, Table II, and Figure 3.
+//
+// The harness is fault-tolerant: runs are cancellable via context
+// (returning the specs completed so far), per-spec results can be
+// checkpointed and resumed byte-identically, and every variant is
+// verified for functional equivalence and isolated from panics — a
+// failing recipe or flow is quarantined into Result.Failures instead of
+// aborting or silently corrupting the analysis.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/opt"
 	"repro/internal/simil"
@@ -40,6 +49,22 @@ type Config struct {
 	Events *telemetry.EventLogger
 	// Profile tunes metric profiling.
 	Profile simil.ProfileOptions
+	// FlowTimeout bounds each flow invocation's wall clock: on expiry
+	// the flow stops converging and returns its best (still equivalent)
+	// AIG so far, so one pathological convergence loop cannot hang the
+	// run (0 = unbounded).
+	FlowTimeout time.Duration
+	// Checkpoint, when non-nil, receives one appended SpecRecord per
+	// completed spec, making the run resumable after a kill.
+	Checkpoint *Checkpointer
+	// Resume holds records loaded from a previous run's checkpoint
+	// (see LoadCheckpoint/OpenCheckpoint). Run replays the longest
+	// prefix matching the suite order instead of recomputing it, then
+	// continues from the first missing spec.
+	Resume []SpecRecord
+
+	// testFlows overrides the flow set for fault-injection tests.
+	testFlows []opt.Flow
 }
 
 func (c Config) maxInputs() int {
@@ -71,6 +96,9 @@ func (c Config) recipeSet() ([]synth.Recipe, error) {
 }
 
 func (c Config) flowSet() ([]opt.Flow, error) {
+	if c.testFlows != nil {
+		return c.testFlows, nil
+	}
 	all := opt.Flows()
 	if c.Flows == nil {
 		return all, nil
@@ -98,10 +126,12 @@ func (c Config) flowSet() ([]opt.Flow, error) {
 // Variant is one synthesized AIG of a spec with its profile and
 // per-flow optimized gate counts.
 type Variant struct {
-	Recipe    string
-	Gates     int
-	Levels    int
-	Profile   *simil.Profile
+	Recipe string
+	Gates  int
+	Levels int
+	// Profile is not persisted in checkpoints (pairs derived from it
+	// are); variants of resumed specs carry a nil Profile.
+	Profile   *simil.Profile `json:"-"`
 	FlowGates map[string]int
 }
 
@@ -133,6 +163,13 @@ type Result struct {
 	// FlowNames and MetricNames record the evaluated axes in order.
 	FlowNames   []string
 	MetricNames []string
+	// Failures lists every quarantined variant: panics recovered from
+	// recipe builds or flow runs, and functional-equivalence
+	// violations. They contribute no pair samples.
+	Failures []Failure
+	// Interrupted reports that the run was cancelled before every spec
+	// completed; Specs/Pairs hold the completed prefix.
+	Interrupted bool
 }
 
 // specSeed derives a stable per-spec/per-flow seed.
@@ -145,8 +182,18 @@ func specSeed(base int64, parts ...string) int64 {
 	return base ^ int64(h.Sum64()&0x7FFFFFFFFFFFFFFF)
 }
 
-// Run executes the experiment.
+// Run executes the experiment without cancellation.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the experiment under ctx. Cancellation is honored
+// at spec granularity: the spec in flight is abandoned (its flows
+// return early, so its results would not match an uninterrupted run's)
+// and the Result carries the completed prefix with Interrupted set, so
+// callers can still emit tables, CSV, and checkpoints for the work done
+// so far.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	runSpan := telemetry.StartSpan("harness/run")
 	defer runSpan.End()
 
@@ -180,64 +227,65 @@ func Run(cfg Config) (*Result, error) {
 
 	telemetry.SetGauge("harness/specs_total", float64(len(specs)))
 	cfg.Events.Log("run_start", map[string]any{
-		"seed": cfg.Seed, "specs": len(specs),
+		"seed": cfg.Seed, "specs": len(specs), "resumable": len(cfg.Resume),
 		"recipes": len(recipes), "flows": res.FlowNames, "metrics": res.MetricNames,
 	})
 
+	resume := cfg.Resume
 	for si, spec := range specs {
-		specSpan := telemetry.StartSpan("harness/spec")
-		run := SpecRun{
-			Name:     spec.Name,
-			Category: spec.Category,
-			Inputs:   spec.NumInputs(),
-			Outputs:  len(spec.Outputs),
+		if ctx.Err() != nil {
+			res.Interrupted = true
+			break
 		}
-		for _, rec := range recipes {
-			g := rec.Build(spec.Outputs)
-			v := Variant{
-				Recipe:    rec.Name,
-				Gates:     g.NumAnds(),
-				Levels:    g.NumLevels(),
-				FlowGates: make(map[string]int, len(flows)),
+		if len(resume) > 0 {
+			if resume[0].Spec != spec.Name {
+				// First divergence from the checkpointed prefix:
+				// everything from here on is recomputed.
+				resume = nil
+			} else {
+				rec := resume[0]
+				resume = resume[1:]
+				res.Specs = append(res.Specs, rec.Run)
+				res.Pairs = append(res.Pairs, rec.Pairs...)
+				res.Failures = append(res.Failures, rec.Failures...)
+				telemetry.Add("harness/specs_resumed", 1)
+				line := fmt.Sprintf("[%3d/%3d] %-22s resumed from checkpoint, pairs=%d",
+					si+1, len(specs), spec.Name, len(res.Pairs))
+				if cfg.Progress != nil {
+					fmt.Fprintln(cfg.Progress, line)
+				}
+				cfg.Events.Log("spec_resumed", map[string]any{
+					"index": si + 1, "total": len(specs), "spec": spec.Name,
+					"pairs": len(res.Pairs), "line": line,
+				})
+				continue
 			}
-			popts := cfg.Profile
-			popts.Seed = specSeed(cfg.Seed, spec.Name, rec.Name)
-			v.Profile = simil.NewProfile(g, popts)
-			for _, flow := range flows {
-				og := flow.Run(g, specSeed(cfg.Seed, spec.Name, rec.Name, flow.Name))
-				v.FlowGates[flow.Name] = og.NumAnds()
-			}
-			run.Variants = append(run.Variants, v)
+		}
+
+		specSpan := telemetry.StartSpan("harness/spec")
+		run, pairs, failures := cfg.runSpec(ctx, spec, recipes, flows, metrics)
+		specSpan.End()
+		if ctx.Err() != nil {
+			// Cancelled mid-spec: the flows returned early, so this
+			// spec's numbers would differ from an uninterrupted run's.
+			// Discard it; a resumed run recomputes it faithfully.
+			res.Interrupted = true
+			break
 		}
 		res.Specs = append(res.Specs, run)
+		res.Pairs = append(res.Pairs, pairs...)
+		res.Failures = append(res.Failures, failures...)
 
-		// Pairwise samples.
-		for i := 0; i < len(run.Variants); i++ {
-			for j := i + 1; j < len(run.Variants); j++ {
-				a, b := run.Variants[i], run.Variants[j]
-				sample := PairSample{
-					Spec:    spec.Name,
-					RecipeA: a.Recipe,
-					RecipeB: b.Recipe,
-					Metrics: make(map[string]float64),
-					ROD:     make(map[string]float64, len(flows)),
-					GatesA:  a.Gates,
-					GatesB:  b.Gates,
-				}
-				for _, m := range metrics {
-					sample.Metrics[m.Name] = m.Compute(a.Profile, b.Profile)
-				}
-				for _, flow := range flows {
-					sample.ROD[flow.Name] = simil.ROD(a.FlowGates[flow.Name], b.FlowGates[flow.Name])
-				}
-				res.Pairs = append(res.Pairs, sample)
-			}
-		}
-		specSpan.End()
-		newPairs := len(run.Variants) * (len(run.Variants) - 1) / 2
+		newPairs := len(pairs)
 		telemetry.Add("harness/specs_done", 1)
 		telemetry.Add("harness/pairs", int64(newPairs))
 		telemetry.Add("harness/rods", int64(newPairs*len(flows)))
+
+		if cfg.Checkpoint != nil {
+			if err := cfg.Checkpoint.Append(SpecRecord{Spec: spec.Name, Run: run, Pairs: pairs, Failures: failures}); err != nil {
+				return nil, err
+			}
+		}
 
 		// One progress record, two renderings: the human-readable line
 		// (Progress) and the structured event (Events).
@@ -249,13 +297,64 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Events.Log("spec_done", map[string]any{
 			"index": si + 1, "total": len(specs), "spec": spec.Name,
 			"category": spec.Category, "inputs": spec.NumInputs(),
-			"outputs": len(spec.Outputs), "pairs": len(res.Pairs), "line": line,
+			"outputs": len(spec.Outputs), "pairs": len(res.Pairs),
+			"failures": len(failures), "line": line,
 		})
 	}
 	cfg.Events.Log("run_done", map[string]any{
 		"specs": len(res.Specs), "pairs": len(res.Pairs),
+		"failures": len(res.Failures), "interrupted": res.Interrupted,
 	})
 	return res, nil
+}
+
+// runSpec computes one spec's variants (with per-variant panic
+// isolation and equivalence guards) and its pairwise samples.
+func (c Config) runSpec(ctx context.Context, spec workload.Spec, recipes []synth.Recipe, flows []opt.Flow, metrics []simil.Metric) (SpecRun, []PairSample, []Failure) {
+	run := SpecRun{
+		Name:     spec.Name,
+		Category: spec.Category,
+		Inputs:   spec.NumInputs(),
+		Outputs:  len(spec.Outputs),
+	}
+	var failures []Failure
+	for _, rec := range recipes {
+		v, fail := c.buildVariant(ctx, spec, rec, flows)
+		if fail != nil {
+			failures = append(failures, *fail)
+			continue
+		}
+		run.Variants = append(run.Variants, *v)
+	}
+	if len(run.Variants) < 2 {
+		// Fewer than two healthy variants: nothing to compare, the
+		// spec contributes no pairs.
+		telemetry.Add("harness/specs_skipped", 1)
+	}
+
+	var pairs []PairSample
+	for i := 0; i < len(run.Variants); i++ {
+		for j := i + 1; j < len(run.Variants); j++ {
+			a, b := run.Variants[i], run.Variants[j]
+			sample := PairSample{
+				Spec:    spec.Name,
+				RecipeA: a.Recipe,
+				RecipeB: b.Recipe,
+				Metrics: make(map[string]float64),
+				ROD:     make(map[string]float64, len(flows)),
+				GatesA:  a.Gates,
+				GatesB:  b.Gates,
+			}
+			for _, m := range metrics {
+				sample.Metrics[m.Name] = m.Compute(a.Profile, b.Profile)
+			}
+			for _, flow := range flows {
+				sample.ROD[flow.Name] = simil.ROD(a.FlowGates[flow.Name], b.FlowGates[flow.Name])
+			}
+			pairs = append(pairs, sample)
+		}
+	}
+	return run, pairs, failures
 }
 
 // Correlation computes the Pearson correlation (with 95% Fisher CI)
@@ -354,7 +453,11 @@ func (r *Result) CategorySummary() string {
 	out := "category        AIGs  avg-gates\n"
 	for _, c := range cats {
 		a := byCat[c]
-		out += fmt.Sprintf("%-14s %5d %10.1f\n", c, a.n, float64(a.gates)/float64(a.n))
+		avg := 0.0
+		if a.n > 0 {
+			avg = float64(a.gates) / float64(a.n)
+		}
+		out += fmt.Sprintf("%-14s %5d %10.1f\n", c, a.n, avg)
 	}
 	return out
 }

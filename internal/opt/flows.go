@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -10,31 +11,48 @@ import (
 )
 
 // Flow is a named high-effort optimization flow. Seed feeds any
-// randomized components (only DeepSyn uses it).
+// randomized components (only DeepSyn uses it). RunCtx honors
+// cancellation at convergence-loop granularity: when the context is
+// done, the flow stops iterating and returns the best AIG found so
+// far, which is always functionally equivalent to the input.
 type Flow struct {
 	Name        string
 	Description string
-	Run         func(g *aig.AIG, seed int64) *aig.AIG
+	RunCtx      func(ctx context.Context, g *aig.AIG, seed int64) *aig.AIG
+}
+
+// Run executes the flow without cancellation.
+func (f Flow) Run(g *aig.AIG, seed int64) *aig.AIG {
+	return f.RunCtx(context.Background(), g, seed)
 }
 
 // Flows returns the paper's three high-effort flows in canonical order.
-// Each flow's Run is telemetry-instrumented under "flow/<name>".
+// Each flow's RunCtx is telemetry-instrumented under "flow/<name>".
 func Flows() []Flow {
 	return []Flow{
 		{"orchestrate", "per-round best of rewrite/refactor/resub to convergence",
-			instrumentFlow("orchestrate", func(g *aig.AIG, _ int64) *aig.AIG { return Orchestrate(g, 24) })},
+			instrumentFlow("orchestrate", func(ctx context.Context, g *aig.AIG, _ int64) *aig.AIG { return Orchestrate(ctx, g, 24) })},
 		{"dc2", "the classic balance/rewrite/refactor script, iterated to convergence",
-			instrumentFlow("dc2", func(g *aig.AIG, _ int64) *aig.AIG { return DC2Converge(g) })},
+			instrumentFlow("dc2", func(ctx context.Context, g *aig.AIG, _ int64) *aig.AIG { return DC2Converge(ctx, g) })},
 		{"deepsyn", "randomized flow search with LUT-mapping shake-ups (T=10)",
-			instrumentFlow("deepsyn", func(g *aig.AIG, seed int64) *aig.AIG { return DeepSyn(g, DeepSynOptions{Effort: 10, Seed: seed}) })},
+			instrumentFlow("deepsyn", func(ctx context.Context, g *aig.AIG, seed int64) *aig.AIG {
+				return DeepSyn(ctx, g, DeepSynOptions{Effort: 10, Seed: seed})
+			})},
 	}
 }
 
-// RunFlow executes the named flow.
+// RunFlow executes the named flow without cancellation.
 func RunFlow(name string, g *aig.AIG, seed int64) (*aig.AIG, error) {
+	return RunFlowContext(context.Background(), name, g, seed)
+}
+
+// RunFlowContext executes the named flow under the context: when ctx is
+// cancelled or times out, the flow returns its best equivalent AIG so
+// far instead of iterating to convergence.
+func RunFlowContext(ctx context.Context, name string, g *aig.AIG, seed int64) (*aig.AIG, error) {
 	for _, f := range Flows() {
 		if f.Name == name {
-			return f.Run(g, seed), nil
+			return f.RunCtx(ctx, g, seed), nil
 		}
 	}
 	return nil, fmt.Errorf("opt: unknown flow %q", name)
@@ -44,11 +62,14 @@ func RunFlow(name string, g *aig.AIG, seed int64) (*aig.AIG, error) {
 // pass granularity: each round tries resubstitution first (the operator
 // the paper reports orchestration favoring heavily), then rewriting and
 // refactoring, and commits the round's best reduction, so the operator
-// mix adapts to the circuit. Rounds stop at convergence or after
-// maxRounds.
-func Orchestrate(g *aig.AIG, maxRounds int) *aig.AIG {
+// mix adapts to the circuit. Rounds stop at convergence, after
+// maxRounds, or when ctx is done (returning the best AIG so far).
+func Orchestrate(ctx context.Context, g *aig.AIG, maxRounds int) *aig.AIG {
 	cur := g
 	for round := 0; round < maxRounds; round++ {
+		if ctx.Err() != nil {
+			return cur
+		}
 		telemetry.Add("flow/orchestrate/rounds", 1)
 		// Resubstitution gets the first shot and is kept whenever it
 		// makes progress; the structural operators compete otherwise.
@@ -90,10 +111,14 @@ func Orchestrate(g *aig.AIG, maxRounds int) *aig.AIG {
 }
 
 // DC2Converge iterates the dc2 script until the AND count stops
-// improving — the "high-effort" usage of dc2 in practice.
-func DC2Converge(g *aig.AIG) *aig.AIG {
+// improving — the "high-effort" usage of dc2 in practice — or ctx is
+// done.
+func DC2Converge(ctx context.Context, g *aig.AIG) *aig.AIG {
 	cur := g
 	for i := 0; i < 8; i++ {
+		if ctx.Err() != nil {
+			return cur
+		}
 		telemetry.Add("flow/dc2/iterations", 1)
 		next := DC2(cur)
 		if next.NumAnds() >= cur.NumAnds() {
@@ -133,7 +158,8 @@ type DeepSynOptions struct {
 // — a dc2 round, a k-LUT map/resynthesis round trip (the broad
 // restructuring move), or operator combinations — keeping the best AIG
 // seen and restarting from it when the working copy drifts too far.
-func DeepSyn(g *aig.AIG, opts DeepSynOptions) *aig.AIG {
+// When ctx is done, the search stops and returns the best AIG so far.
+func DeepSyn(ctx context.Context, g *aig.AIG, opts DeepSynOptions) *aig.AIG {
 	effort := opts.Effort
 	if effort <= 0 {
 		effort = 10
@@ -154,6 +180,9 @@ func DeepSyn(g *aig.AIG, opts DeepSynOptions) *aig.AIG {
 		func(a *aig.AIG) *aig.AIG { return Balance(RewriteOnce(a, RewriteOptions{})) },
 	}
 	for i := 0; i < effort; i++ {
+		if ctx.Err() != nil {
+			return best
+		}
 		telemetry.Add("flow/deepsyn/moves", 1)
 		move := moves[r.Intn(len(moves))]
 		cur = move(cur)
@@ -170,10 +199,14 @@ func DeepSyn(g *aig.AIG, opts DeepSynOptions) *aig.AIG {
 
 // CompressToConvergence interleaves all operators until no further
 // reduction is found — a convenience "max effort" flow exposed by the
-// library beyond the paper's three.
-func CompressToConvergence(g *aig.AIG) *aig.AIG {
+// library beyond the paper's three. It honors ctx at iteration
+// granularity.
+func CompressToConvergence(ctx context.Context, g *aig.AIG) *aig.AIG {
 	cur := g
 	for i := 0; i < 32; i++ {
+		if ctx.Err() != nil {
+			return cur
+		}
 		next := DC2(cur)
 		next = ResubOnce(next, ResubOptions{})
 		next = RefactorOnce(next, RefactorOptions{})

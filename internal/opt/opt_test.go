@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -217,8 +218,8 @@ func TestRunFlowDispatch(t *testing.T) {
 func TestDeepSynDeterministicPerSeed(t *testing.T) {
 	r := rand.New(rand.NewSource(97))
 	g := redundantAIG(tt.Random(5, r))
-	a := DeepSyn(g, DeepSynOptions{Effort: 4, Seed: 42})
-	b := DeepSyn(g, DeepSynOptions{Effort: 4, Seed: 42})
+	a := DeepSyn(context.Background(), g, DeepSynOptions{Effort: 4, Seed: 42})
+	b := DeepSyn(context.Background(), g, DeepSynOptions{Effort: 4, Seed: 42})
 	if a.NumAnds() != b.NumAnds() {
 		t.Error("DeepSyn not deterministic for fixed seed")
 	}
@@ -228,10 +229,10 @@ func TestDeepSynDeterministicPerSeed(t *testing.T) {
 func TestOrchestrateConverges(t *testing.T) {
 	r := rand.New(rand.NewSource(98))
 	g := redundantAIG(tt.Random(4, r))
-	ng := Orchestrate(g, 50)
+	ng := Orchestrate(context.Background(), g, 50)
 	mustEquiv(t, "orchestrate", g, ng)
 	// Running it again should make no further progress.
-	ng2 := Orchestrate(ng, 50)
+	ng2 := Orchestrate(context.Background(), ng, 50)
 	if ng2.NumAnds() < ng.NumAnds()-1 {
 		t.Errorf("orchestrate left significant gains: %d -> %d", ng.NumAnds(), ng2.NumAnds())
 	}
@@ -250,7 +251,7 @@ func TestFlowsOnMultiOutput(t *testing.T) {
 func TestCompressToConvergence(t *testing.T) {
 	r := rand.New(rand.NewSource(100))
 	g := redundantAIG(tt.Random(5, r))
-	ng := CompressToConvergence(g)
+	ng := CompressToConvergence(context.Background(), g)
 	mustEquiv(t, "compress", g, ng)
 	if ng.NumAnds() > g.NumAnds() {
 		t.Error("compress grew the graph")
@@ -268,7 +269,7 @@ func TestConstantOutputsCollapse(t *testing.T) {
 		ng := p.run(g)
 		mustEquiv(t, p.name, g, ng)
 	}
-	ng := CompressToConvergence(g)
+	ng := CompressToConvergence(context.Background(), g)
 	if ng.NumAnds() != 0 {
 		t.Errorf("tautology not collapsed: %d nodes remain", ng.NumAnds())
 	}
@@ -289,4 +290,24 @@ func TestDecisionRebuildDirect(t *testing.T) {
 		out.Node(): {mini: mini, leaves: []int{a.Node(), b.Node(), c.Node()}},
 	})
 	mustEquiv(t, "rebuild", g, ng)
+}
+
+func TestFlowsHonorCancellation(t *testing.T) {
+	// A context cancelled before the first convergence round must make
+	// every flow return immediately with an AIG equivalent to its input
+	// (the degenerate "best so far": the input itself).
+	r := rand.New(rand.NewSource(101))
+	g := redundantAIG(tt.Random(5, r))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, flow := range Flows() {
+		ng := flow.RunCtx(ctx, g, 7)
+		mustEquiv(t, flow.Name+" (cancelled)", g, ng)
+		if ng.NumAnds() != g.NumAnds() {
+			t.Errorf("%s did optimization work under a cancelled context", flow.Name)
+		}
+	}
+	if ng := CompressToConvergence(ctx, g); ng != g {
+		t.Error("compress did optimization work under a cancelled context")
+	}
 }

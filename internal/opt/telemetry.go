@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"context"
+
 	"repro/internal/aig"
 	"repro/internal/telemetry"
 )
@@ -19,10 +21,10 @@ func instrumentPass(name string, g *aig.AIG, pass func() *aig.AIG) *aig.AIG {
 
 // instrumentFlow wraps a whole high-effort flow the same way, under
 // "flow/<name>".
-func instrumentFlow(name string, run func(*aig.AIG, int64) *aig.AIG) func(*aig.AIG, int64) *aig.AIG {
-	return func(g *aig.AIG, seed int64) *aig.AIG {
+func instrumentFlow(name string, run func(context.Context, *aig.AIG, int64) *aig.AIG) func(context.Context, *aig.AIG, int64) *aig.AIG {
+	return func(ctx context.Context, g *aig.AIG, seed int64) *aig.AIG {
 		sp := telemetry.StartSpan("flow/" + name)
-		ng := run(g, seed)
+		ng := run(ctx, g, seed)
 		sp.End()
 		telemetry.Observe("flow/"+name+"/gates_removed", float64(g.NumAnds()-ng.NumAnds()))
 		return ng

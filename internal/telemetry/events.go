@@ -11,9 +11,14 @@ import (
 // object per line with "ts" (RFC3339Nano) and "event" keys plus the
 // caller's fields (keys emitted in sorted order). A nil logger is a
 // no-op, so call sites need no telemetry-enabled guard.
+//
+// Log never fails the pipeline, but the first underlying write error is
+// retained and reported by Err, so a full disk truncating the event log
+// surfaces at the end of the run instead of passing silently.
 type EventLogger struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu  sync.Mutex
+	w   io.Writer
+	err error
 }
 
 // NewEventLogger wraps a writer. The caller keeps ownership of the
@@ -43,5 +48,17 @@ func (l *EventLogger) Log(event string, fields map[string]any) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	_, _ = l.w.Write(append(line, '\n'))
+	if _, err := l.w.Write(append(line, '\n')); err != nil && l.err == nil {
+		l.err = err
+	}
+}
+
+// Err returns the first write error encountered, or nil. Safe on nil.
+func (l *EventLogger) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
 }

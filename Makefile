@@ -1,16 +1,23 @@
 # Test tiers. tier1 is the seed gate (must always stay green); tier2
-# adds static analysis and the race detector over the concurrency-safe
-# telemetry layer and everything it instruments — including the
-# fault-tolerance suite (checkpoint/resume byte-identity, panic
-# quarantine, equivalence guards) in internal/harness.
+# adds static analysis — go vet plus the domain lint suite (aiglint:
+# AIG-literal discipline, emission determinism, dropped errors, metric
+# names) — and the race detector over the concurrency-safe telemetry
+# layer and everything it instruments, including the fault-tolerance
+# suite (checkpoint/resume byte-identity, panic quarantine, equivalence
+# guards) in internal/harness.
 
-.PHONY: tier1 tier2 bench fuzz
+.PHONY: tier1 tier2 lint bench fuzz
 
 tier1:
 	go build ./... && go test ./...
 
 tier2:
-	go vet ./... && go test -race ./...
+	go vet ./... && go run ./cmd/aiglint ./... && go test -race ./...
+
+# lint runs only the domain analyzers, verbosely (finding and
+# suppression counts). Findings exit nonzero with file:line positions.
+lint:
+	go run ./cmd/aiglint -v ./...
 
 # fuzz hammers the AIGER parser with coverage-guided random inputs;
 # the target asserts parse-or-error (never panic) plus write/read
@@ -22,6 +29,7 @@ fuzz:
 
 # bench runs every benchmark once; the pipeline benchmarks report a
 # telemetry-derived per-stage breakdown (synthesis/profiling/
-# optimization/metrics seconds per op) alongside ns/op.
+# optimization/metrics seconds per op) alongside ns/op, and the same
+# breakdown is written to BENCH_pipeline.json for machine consumption.
 bench:
-	go test -run '^$$' -bench . -benchtime 1x .
+	BENCH_JSON=BENCH_pipeline.json go test -run '^$$' -bench . -benchtime 1x .

@@ -1,0 +1,89 @@
+// Command aiglint runs the repository's domain lint suite: custom
+// static analyzers, built only on the standard library, that enforce
+// invariants the compiler cannot see — AIG-literal encoding discipline
+// (rawlit), byte-identical result emission (determinism), error-
+// handling hygiene (droppederr), and telemetry name stability
+// (metricname).
+//
+// Usage:
+//
+//	aiglint [-run a,b] [-list] [-v] [packages...]
+//
+// Packages default to ./... resolved against the enclosing module.
+// Exit status is 1 when any diagnostic survives, 2 on usage or load
+// errors. Suppress a single finding with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "", "comma-separated analyzer subset (default all)")
+		list = flag.Bool("list", false, "list analyzers and exit")
+		verb = flag.Bool("v", false, "print analyzed package count and suppression stats")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *run != "" {
+		var subset []*lint.Analyzer
+		for _, name := range strings.Split(*run, ",") {
+			a := lint.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "aiglint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			subset = append(subset, a)
+		}
+		analyzers = subset
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := lint.Load(cwd, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	res, err := lint.RunAnalyzers(prog, analyzers, lint.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	if *verb {
+		fmt.Fprintf(os.Stderr, "aiglint: %d packages, %d analyzers, %d findings, %d suppressed\n",
+			len(prog.Packages), len(analyzers), len(res.Diagnostics), res.Suppressed)
+	}
+	for _, d := range res.Diagnostics {
+		rel := d
+		if strings.HasPrefix(rel.Pos.Filename, prog.ModuleDir+string(os.PathSeparator)) {
+			rel.Pos.Filename = rel.Pos.Filename[len(prog.ModuleDir)+1:]
+		}
+		fmt.Println(rel.String())
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aiglint:", err)
+	os.Exit(2)
+}

@@ -40,9 +40,10 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address during the run")
 	eventsPath := flag.String("events", "", "append JSONL optimization events to this file")
 	flowTimeout := flag.Duration("flow-timeout", 0, "wall-clock budget per flow atom (0 = unbounded)")
+	selfcheck := flag.Bool("selfcheck", false, "run the structural verifier after every script atom and on the final AIG")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: aigopt [-script S] [-verify] [-metrics-addr A] [-events F] [-flow-timeout D] in.aag out.aag")
+		fmt.Fprintln(os.Stderr, "usage: aigopt [-script S] [-verify] [-selfcheck] [-metrics-addr A] [-events F] [-flow-timeout D] in.aag out.aag")
 		os.Exit(2)
 	}
 
@@ -94,7 +95,7 @@ func main() {
 	before := g.Stat()
 	events.Log("opt_start", map[string]any{"in": in, "script": *script, "gates": g.NumAnds()})
 	start := time.Now()
-	og, err := runScript(ctx, g, *script, *seed, *flowTimeout)
+	og, err := runScript(ctx, g, *script, *seed, *flowTimeout, *selfcheck)
 	if err != nil {
 		fatal(err)
 	}
@@ -108,7 +109,15 @@ func main() {
 			fatal(err)
 		}
 	}
-	if err := aiger.WriteFile(out, og.Cleanup()); err != nil {
+	final := og.Cleanup()
+	if *selfcheck {
+		// The emitted AIG must satisfy the strict invariants (including
+		// no dangling nodes — Cleanup just guaranteed that).
+		if err := final.CheckStrict(); err != nil {
+			fatal(fmt.Errorf("selfcheck on final AIG: %w", err))
+		}
+	}
+	if err := aiger.WriteFile(out, final); err != nil {
 		fatal(err)
 	}
 	events.Log("opt_done", map[string]any{
@@ -132,8 +141,9 @@ func main() {
 // runScript applies the script atoms left to right. Cancellation stops
 // between atoms (and inside flow convergence loops); each flow atom
 // additionally runs under its own wall-clock budget when flowTimeout is
-// set.
-func runScript(ctx context.Context, g *aig.AIG, script string, seed int64, flowTimeout time.Duration) (*aig.AIG, error) {
+// set. With selfcheck, the structural verifier runs after every atom so
+// a pass that corrupts the graph is caught at the atom that did it.
+func runScript(ctx context.Context, g *aig.AIG, script string, seed int64, flowTimeout time.Duration, selfcheck bool) (*aig.AIG, error) {
 	flowCtx := func() (context.Context, context.CancelFunc) {
 		if flowTimeout <= 0 {
 			return ctx, func() {}
@@ -180,6 +190,11 @@ func runScript(ctx context.Context, g *aig.AIG, script string, seed int64, flowT
 				return nil, fmt.Errorf("unknown script atom %q", atom)
 			}
 			cur = ng
+		}
+		if selfcheck {
+			if err := cur.Check(); err != nil {
+				return nil, fmt.Errorf("selfcheck after %q: %w", atom, err)
+			}
 		}
 	}
 	return cur, nil

@@ -60,6 +60,7 @@ func main() {
 		ckptPath    = flag.String("checkpoint", "", "append each completed spec to this JSONL checkpoint file")
 		resume      = flag.Bool("resume", false, "replay the -checkpoint file and continue from the first missing spec")
 		flowTimeout = flag.Duration("flow-timeout", 0, "wall-clock budget per flow invocation (0 = unbounded)")
+		selfcheck   = flag.Bool("selfcheck", false, "run the AIG structural verifier after every synthesis recipe and optimization flow")
 	)
 	flag.Parse()
 
@@ -93,6 +94,7 @@ func main() {
 		MaxInputs:   *maxInputs,
 		MaxSpecs:    *maxSpecs,
 		FlowTimeout: *flowTimeout,
+		SelfCheck:   *selfcheck,
 	}
 	if *quick {
 		// -quick supplies defaults only: flags the user set explicitly
@@ -227,7 +229,7 @@ func writeCSV(path string, res *harness.Result) error {
 		return err
 	}
 	if err := harness.WriteCSV(f, res); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("writing %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {

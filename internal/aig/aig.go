@@ -472,17 +472,47 @@ func (g *AIG) ConeSize(root Lit) int {
 	return n
 }
 
-// Check validates structural invariants: fanins precede their node, the
-// strash table is consistent, and levels are correct. It returns an error
-// describing the first violation.
+// Check validates the structural invariants every synthesis recipe and
+// optimization pass must preserve:
+//
+//   - the constant node and the PIs carry no fanins and sit at level 0;
+//   - every AND's fanins point strictly backward, so the node array is a
+//     topological order (this also rules out cycles, including
+//     self-loops);
+//   - fanins are normalized (fanin0 <= fanin1) and non-trivial: no
+//     constant operand and no x&x / x&!x, all of which And() folds away;
+//   - every level is exactly 1 + max(fanin levels);
+//   - the strash table is a bijection between fanin pairs and AND nodes:
+//     every AND is registered under its fanin key, the entry points back
+//     at it (a mismatch means a structural duplicate), and the table
+//     holds exactly NumAnds entries (no stale leftovers);
+//   - every PO references an existing node.
+//
+// It returns an error describing the first violation found. Check does
+// not require the graph to be dangling-free — passes legitimately leave
+// dead cones behind until Cleanup; CheckStrict adds that requirement.
 func (g *AIG) Check() error {
+	for id := 0; id <= g.numPIs && id < g.NumObjs(); id++ {
+		if g.fanin0[id] != 0 || g.fanin1[id] != 0 {
+			return fmt.Errorf("aig: non-AND node %d has fanins (%v, %v)", id, g.fanin0[id], g.fanin1[id])
+		}
+		if g.level[id] != 0 {
+			return fmt.Errorf("aig: non-AND node %d has level %d, want 0", id, g.level[id])
+		}
+	}
 	for id := g.numPIs + 1; id < g.NumObjs(); id++ {
 		f0, f1 := g.fanin0[id], g.fanin1[id]
 		if f0.Node() >= id || f1.Node() >= id {
-			return fmt.Errorf("aig: node %d has forward fanin (%v, %v)", id, f0, f1)
+			return fmt.Errorf("aig: node %d has forward or cyclic fanin (%v, %v)", id, f0, f1)
 		}
 		if f0 > f1 {
-			return fmt.Errorf("aig: node %d fanins not normalized", id)
+			return fmt.Errorf("aig: node %d fanins (%v, %v) not normalized", id, f0, f1)
+		}
+		if f0.Node() == 0 {
+			return fmt.Errorf("aig: node %d has constant fanin %v, which And() should have folded", id, f0)
+		}
+		if f0.Regular() == f1.Regular() {
+			return fmt.Errorf("aig: node %d is trivial (%v, %v), which And() should have folded", id, f0, f1)
 		}
 		want := g.level[f0.Node()]
 		if l := g.level[f1.Node()]; l > want {
@@ -491,13 +521,37 @@ func (g *AIG) Check() error {
 		if g.level[id] != want+1 {
 			return fmt.Errorf("aig: node %d has level %d, want %d", id, g.level[id], want+1)
 		}
-		if got, ok := g.strash[strashKey(f0, f1)]; !ok || got != id {
+		switch got, ok := g.strash[strashKey(f0, f1)]; {
+		case !ok:
 			return fmt.Errorf("aig: node %d missing from strash table", id)
+		case got != id:
+			return fmt.Errorf("aig: node %d is a structural duplicate of node %d (strash not canonical)", id, got)
 		}
+	}
+	if len(g.strash) != g.NumAnds() {
+		return fmt.Errorf("aig: strash table has %d entries for %d AND nodes (stale entries)", len(g.strash), g.NumAnds())
 	}
 	for i, po := range g.pos {
 		if po.Node() >= g.NumObjs() {
-			return fmt.Errorf("aig: PO %d references nonexistent node", i)
+			return fmt.Errorf("aig: PO %d references nonexistent node %d", i, po.Node())
+		}
+	}
+	return nil
+}
+
+// CheckStrict is Check plus the dangling-node invariant: every AND node
+// must be referenced by another AND or a PO. Because the graph is
+// acyclic, that is equivalent to every AND being reachable from some
+// PO. Use it at emission boundaries (after Cleanup, before AIGER
+// serialization); mid-flow graphs legitimately fail it.
+func (g *AIG) CheckStrict() error {
+	if err := g.Check(); err != nil {
+		return err
+	}
+	refs := g.RefCounts()
+	for id := g.numPIs + 1; id < g.NumObjs(); id++ {
+		if refs[id] == 0 {
+			return fmt.Errorf("aig: AND node %d is dangling (zero references); run Cleanup before emitting", id)
 		}
 	}
 	return nil

@@ -1,0 +1,229 @@
+package aig
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCheckFixture returns a small healthy AIG: a full adder plus one
+// extra shared node, 3 PIs, 2 POs, several levels. Every corruption
+// test clones and mutates it.
+func buildCheckFixture(t *testing.T) *AIG {
+	t.Helper()
+	g := New(3)
+	a, b, cin := g.PI(0), g.PI(1), g.PI(2)
+	sum := g.Xor(g.Xor(a, b), cin)
+	cout := g.Maj3(a, b, cin)
+	g.AddPO(sum)
+	g.AddPO(cout)
+	if err := g.Check(); err != nil {
+		t.Fatalf("fixture is corrupt before mutation: %v", err)
+	}
+	if err := g.CheckStrict(); err != nil {
+		t.Fatalf("fixture has dangling nodes before mutation: %v", err)
+	}
+	return g
+}
+
+// firstAnd returns the id of the first AND node.
+func firstAnd(g *AIG) int { return g.NumPIs() + 1 }
+
+// TestCheckRejectsCorruption corrupts one invariant per case and
+// asserts Check reports it with a distinct, descriptive error.
+func TestCheckRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(g *AIG)
+		want    string // substring of the expected error
+	}{
+		{
+			name: "cyclic self fanin",
+			corrupt: func(g *AIG) {
+				id := firstAnd(g)
+				g.fanin0[id] = MakeLit(id, false)
+			},
+			want: "forward or cyclic fanin",
+		},
+		{
+			name: "forward fanin",
+			corrupt: func(g *AIG) {
+				id := firstAnd(g)
+				g.fanin1[id] = MakeLit(g.NumObjs()-1, true)
+			},
+			want: "forward or cyclic fanin",
+		},
+		{
+			name: "unnormalized fanins",
+			corrupt: func(g *AIG) {
+				// Find an AND with distinct fanins and swap them.
+				for id := firstAnd(g); id < g.NumObjs(); id++ {
+					if g.fanin0[id] != g.fanin1[id] {
+						g.fanin0[id], g.fanin1[id] = g.fanin1[id], g.fanin0[id]
+						return
+					}
+				}
+				panic("no AND with distinct fanins")
+			},
+			want: "not normalized",
+		},
+		{
+			name: "constant fanin",
+			corrupt: func(g *AIG) {
+				id := firstAnd(g)
+				g.fanin0[id] = LitTrue
+			},
+			want: "constant fanin",
+		},
+		{
+			name: "trivial equal fanins",
+			corrupt: func(g *AIG) {
+				id := firstAnd(g)
+				g.fanin1[id] = g.fanin0[id]
+			},
+			want: "which And() should have folded",
+		},
+		{
+			name: "trivial complementary fanins",
+			corrupt: func(g *AIG) {
+				id := firstAnd(g)
+				g.fanin1[id] = g.fanin0[id].Not()
+			},
+			want: "which And() should have folded",
+		},
+		{
+			name: "wrong level",
+			corrupt: func(g *AIG) {
+				g.level[firstAnd(g)]++
+			},
+			want: "has level",
+		},
+		{
+			name: "PI with nonzero level",
+			corrupt: func(g *AIG) {
+				g.level[1] = 3
+			},
+			want: "non-AND node 1 has level 3",
+		},
+		{
+			name: "PI with fanin",
+			corrupt: func(g *AIG) {
+				g.fanin0[1] = MakeLit(0, true)
+			},
+			want: "non-AND node 1 has fanins",
+		},
+		{
+			name: "missing strash entry",
+			corrupt: func(g *AIG) {
+				id := firstAnd(g)
+				delete(g.strash, strashKey(g.fanin0[id], g.fanin1[id]))
+			},
+			want: "missing from strash table",
+		},
+		{
+			name: "stale strash entry",
+			corrupt: func(g *AIG) {
+				// Register a fanin pair no node can implement: AND(a, a)
+				// always folds, so its key is never legitimately present.
+				g.strash[strashKey(MakeLit(1, false), MakeLit(1, false))] = firstAnd(g)
+			},
+			want: "stale entries",
+		},
+		{
+			name: "duplicate AND node",
+			corrupt: func(g *AIG) {
+				// Append a structural twin of the first AND without
+				// registering it: the strash entry still points at the
+				// original, so the twin is a non-canonical duplicate.
+				id := firstAnd(g)
+				g.fanin0 = append(g.fanin0, g.fanin0[id])
+				g.fanin1 = append(g.fanin1, g.fanin1[id])
+				g.level = append(g.level, g.level[id])
+			},
+			want: "structural duplicate",
+		},
+		{
+			name: "PO references nonexistent node",
+			corrupt: func(g *AIG) {
+				g.pos[0] = MakeLit(g.NumObjs()+7, false)
+			},
+			want: "references nonexistent node",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildCheckFixture(t)
+			tc.corrupt(g)
+			err := g.Check()
+			if err == nil {
+				t.Fatalf("Check accepted a corrupted AIG (%s)", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Check error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckErrorsAreDistinct guards the error taxonomy: each corruption
+// class must map to its own message so a selfcheck failure names the
+// broken invariant, not just "corrupt".
+func TestCheckErrorsAreDistinct(t *testing.T) {
+	wants := []string{
+		"forward or cyclic fanin",
+		"not normalized",
+		"constant fanin",
+		"which And() should have folded",
+		"has level",
+		"missing from strash table",
+		"stale entries",
+		"structural duplicate",
+		"references nonexistent node",
+	}
+	seen := map[string]bool{}
+	for _, w := range wants {
+		if seen[w] {
+			t.Errorf("error class %q reused across corruption kinds", w)
+		}
+		seen[w] = true
+	}
+}
+
+// TestCheckStrictRejectsDangling: a dead cone passes Check (passes may
+// leave garbage until Cleanup) but fails CheckStrict with a distinct
+// error.
+func TestCheckStrictRejectsDangling(t *testing.T) {
+	g := buildCheckFixture(t)
+	// Build a cone nothing references.
+	g.And(g.PI(0), g.And(g.PI(1), g.PI(2).Not()))
+	if err := g.Check(); err != nil {
+		t.Fatalf("Check should tolerate dangling nodes: %v", err)
+	}
+	err := g.CheckStrict()
+	if err == nil {
+		t.Fatal("CheckStrict accepted a dangling AND node")
+	}
+	if !strings.Contains(err.Error(), "dangling") {
+		t.Fatalf("CheckStrict error %q does not mention dangling", err)
+	}
+	// Cleanup removes the cone; both checks pass again.
+	ng := g.Cleanup()
+	if err := ng.CheckStrict(); err != nil {
+		t.Fatalf("CheckStrict after Cleanup: %v", err)
+	}
+}
+
+// TestCheckStrictBadRefCount: a fanin edge rewired to a node that
+// nothing else consumes leaves the old fanin with zero references.
+func TestCheckStrictBadRefCount(t *testing.T) {
+	g := New(2)
+	x := g.And(g.PI(0), g.PI(1))
+	y := g.And(g.PI(0), g.PI(1).Not())
+	g.AddPO(x)
+	_ = y // y is dangling: ref count 0
+	if err := g.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if err := g.CheckStrict(); err == nil {
+		t.Fatal("CheckStrict accepted an AND with zero references")
+	}
+}

@@ -91,11 +91,11 @@ func OpenCheckpoint(path string, cfg Config, resume bool) (*Checkpointer, []Spec
 				return nil, nil, err
 			}
 			if err := f.Truncate(offset); err != nil {
-				f.Close()
+				_ = f.Close()
 				return nil, nil, err
 			}
 			if _, err := f.Seek(offset, io.SeekStart); err != nil {
-				f.Close()
+				_ = f.Close()
 				return nil, nil, err
 			}
 			return &Checkpointer{f: f, w: bufio.NewWriter(f)}, records, nil
@@ -115,7 +115,7 @@ func OpenCheckpoint(path string, cfg Config, resume bool) (*Checkpointer, []Spec
 	}
 	c := &Checkpointer{f: f, w: bufio.NewWriter(f)}
 	if err := c.append(checkpointHeader{Format: checkpointFormat, Fingerprint: fp, Seed: cfg.Seed}); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, fmt.Errorf("harness: writing checkpoint header: %w", err)
 	}
 	return c, nil, nil
@@ -193,7 +193,7 @@ func (c *Checkpointer) Close() error {
 		return nil
 	}
 	if err := c.w.Flush(); err != nil {
-		c.f.Close()
+		_ = c.f.Close()
 		return err
 	}
 	return c.f.Close()

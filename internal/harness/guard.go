@@ -74,6 +74,21 @@ func safeFlow(ctx context.Context, flow opt.Flow, g *aig.AIG, seed int64) (og *a
 	return flow.RunCtx(ctx, g, seed), nil
 }
 
+// selfCheck runs the structural verifier when Config.SelfCheck is set.
+// A violation means a recipe or pass broke the AIG invariants (fanin
+// order, strash canonicality, levels) even if the result still happens
+// to simulate correctly, so it quarantines the variant.
+func (c Config) selfCheck(g *aig.AIG) error {
+	if !c.SelfCheck {
+		return nil
+	}
+	if err := g.Check(); err != nil {
+		telemetry.Add("harness/selfcheck_failures", 1)
+		return fmt.Errorf("selfcheck: %v", err)
+	}
+	return nil
+}
+
 // flowContext derives the per-flow wall-clock budget context.
 func (c Config) flowContext(ctx context.Context) (context.Context, context.CancelFunc) {
 	if c.FlowTimeout <= 0 {
@@ -94,6 +109,9 @@ func (c Config) buildVariant(ctx context.Context, spec workload.Spec, rec synth.
 	}
 	g, err := safeBuild(rec, spec.Outputs)
 	if err != nil {
+		return fail("", err.Error())
+	}
+	if err := c.selfCheck(g); err != nil {
 		return fail("", err.Error())
 	}
 	if idx, err := g.EquivalentToTTs(spec.Outputs); err != nil || idx >= 0 {
@@ -124,6 +142,9 @@ func (c Config) buildVariant(ctx context.Context, spec workload.Spec, rec synth.
 		}
 		cancel()
 		if err != nil {
+			return fail(flow.Name, err.Error())
+		}
+		if err := c.selfCheck(og); err != nil {
 			return fail(flow.Name, err.Error())
 		}
 		if idx, err := aig.Equivalent(g, og); err != nil || idx >= 0 {

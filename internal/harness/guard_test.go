@@ -163,3 +163,52 @@ func TestEquivalenceViolationQuarantined(t *testing.T) {
 		t.Error("empty renderer output for fully quarantined run")
 	}
 }
+
+// TestSelfCheckQuarantinesStructuralCorruption injects a flow that
+// returns a structurally invalid AIG (a PO pointing at a node that does
+// not exist) and asserts that Config.SelfCheck quarantines every
+// affected variant with a "selfcheck:" reason before the equivalence
+// guard ever simulates the broken graph.
+func TestSelfCheckQuarantinesStructuralCorruption(t *testing.T) {
+	telemetry.Disable()
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+
+	mangle := opt.Flow{
+		Name: "mangle",
+		RunCtx: func(_ context.Context, g *aig.AIG, _ int64) *aig.AIG {
+			bad := aig.New(g.NumPIs())
+			for i := 0; i < g.NumPOs(); i++ {
+				bad.AddPO(aig.MakeLit(bad.NumObjs()+5, false))
+			}
+			return bad
+		},
+	}
+	cfg := quickConfig()
+	cfg.Flows = nil
+	cfg.MaxSpecs = 1
+	cfg.SelfCheck = true
+	cfg.testFlows = []opt.Flow{mangle}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Failures) != 7 {
+		t.Fatalf("got %d failures, want all 7 variants quarantined:\n%s", len(res.Failures), res.FailureSummary())
+	}
+	for _, f := range res.Failures {
+		if f.Flow != "mangle" {
+			t.Errorf("failure attributed to %q, want flow mangle", f.Flow)
+		}
+		if !strings.Contains(f.Reason, "selfcheck:") || !strings.Contains(f.Reason, "references nonexistent node") {
+			t.Errorf("failure reason %q does not describe the structural violation", f.Reason)
+		}
+	}
+	if len(res.Pairs) != 0 {
+		t.Errorf("quarantined variants still produced %d pairs", len(res.Pairs))
+	}
+	if got := reg.Counter("harness/selfcheck_failures").Value(); got != 7 {
+		t.Errorf("selfcheck_failures = %d, want 7", got)
+	}
+}

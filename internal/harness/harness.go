@@ -62,6 +62,12 @@ type Config struct {
 	// prefix matching the suite order instead of recomputing it, then
 	// continues from the first missing spec.
 	Resume []SpecRecord
+	// SelfCheck runs the aig.Check structural verifier on every
+	// synthesized and every optimized AIG; violations quarantine the
+	// variant like any other failure. It changes which variants can
+	// fail but never the numbers a surviving variant contributes, so it
+	// is deliberately not part of the checkpoint fingerprint.
+	SelfCheck bool
 
 	// testFlows overrides the flow set for fault-injection tests.
 	testFlows []opt.Flow

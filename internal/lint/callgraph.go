@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// funcNode is one function declaration in the analyzed program.
+type funcNode struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// callGraph indexes every function declared in the program's analyzed
+// packages and resolves static call edges between them. Calls through
+// function values, struct fields, and interfaces are not resolved —
+// the analyzers using the graph document that boundary.
+type callGraph struct {
+	nodes map[*types.Func]*funcNode
+}
+
+// buildCallGraph indexes all function and method declarations.
+func buildCallGraph(prog *Program) *callGraph {
+	g := &callGraph{nodes: map[*types.Func]*funcNode{}}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[fn] = &funcNode{fn: fn, decl: fd, pkg: pkg}
+			}
+		}
+	}
+	return g
+}
+
+// calleesOf returns the program-internal functions statically called
+// from node's body (including calls made inside function literals
+// declared in the body — they execute under the same emission root).
+// The result is deterministic: sorted by qualified name.
+func (g *callGraph) calleesOf(node *funcNode) []*funcNode {
+	seen := map[*funcNode]bool{}
+	var out []*funcNode
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(node.pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		if callee := g.nodes[fn]; callee != nil && !seen[callee] {
+			seen[callee] = true
+			out = append(out, callee)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		return QualifiedName(out[i].fn) < QualifiedName(out[j].fn)
+	})
+	return out
+}

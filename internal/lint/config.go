@@ -1,0 +1,69 @@
+package lint
+
+// Config parameterizes the analyzers. DefaultConfig encodes this
+// repository's invariants; tests substitute fixture-local settings.
+type Config struct {
+	// RawLitTypes maps a fully-qualified literal type name to the
+	// import paths allowed to do raw bit arithmetic on it (the type's
+	// defining package plus any codec that must speak the encoding).
+	RawLitTypes map[string][]string
+
+	// DeterminismRoots are regular expressions over qualified function
+	// names (see QualifiedName). Every function statically reachable
+	// from a matching root is required to be reproducible: no map-order
+	// iteration with order-sensitive bodies, no time.Now, no unseeded
+	// global randomness.
+	DeterminismRoots []string
+
+	// MetricNameFuncs lists qualified callables whose string argument
+	// (by index) names a telemetry instrument. Names must be compile-
+	// time constants in snake_case segments; passing a bare identifier
+	// through a helper is allowed (the helper's own call sites are
+	// checked instead).
+	MetricNameFuncs map[string]int
+
+	// MetricNamePattern validates constant metric names. Segments are
+	// snake_case, separated by '/'.
+	MetricNamePattern string
+}
+
+// DefaultConfig returns the repository's production lint configuration.
+func DefaultConfig() *Config {
+	return &Config{
+		RawLitTypes: map[string][]string{
+			// The AIGER codec necessarily manipulates the on-disk
+			// variable/complement encoding, which is identical to the
+			// in-memory one.
+			"repro/internal/aig.Lit": {"repro/internal/aig", "repro/internal/aiger"},
+			"repro/internal/mig.Lit": {"repro/internal/mig"},
+			"repro/internal/xag.Lit": {"repro/internal/xag"},
+		},
+		DeterminismRoots: []string{
+			// CSV + checkpoint emission: the byte-identity surface of
+			// checkpoint/resume.
+			`^repro/internal/harness\.WriteCSV$`,
+			`^\(repro/internal/harness\.Checkpointer\)\.Append$`,
+			// Table/figure renderers behind the paper's artifacts.
+			`^\(repro/internal/harness\.Result\)\.(TableI|TableII|Figure3|Figure3Plot|FigureScatter|CategoryTable|CategorySummary|FailureSummary)$`,
+			`^repro/internal/harness\.(Figure2|StageSummary)$`,
+			// Telemetry exposition and the stage rollup read by
+			// BENCH_pipeline.json.
+			`^\(repro/internal/telemetry\.Registry\)\.(WritePrometheus|WriteJSON|SummaryTable|SpanSeconds)$`,
+			// AIGER serialization: optimized-AIG outputs must be stable.
+			`^repro/internal/aiger\.(WriteASCII|WriteBinary|WriteFile)$`,
+		},
+		MetricNameFuncs: map[string]int{
+			"repro/internal/telemetry.Add":                   0,
+			"repro/internal/telemetry.SetGauge":              0,
+			"repro/internal/telemetry.Observe":               0,
+			"repro/internal/telemetry.StartSpan":             0,
+			"(repro/internal/telemetry.Registry).Counter":    0,
+			"(repro/internal/telemetry.Registry).Gauge":      0,
+			"(repro/internal/telemetry.Registry).Histogram":  0,
+			"(repro/internal/telemetry.Registry).StartSpan":  0,
+			"(repro/internal/telemetry.Registry).RecordSpan": 0,
+			"(repro/internal/telemetry.Span).StartSpan":      0,
+		},
+		MetricNamePattern: `^[a-z][a-z0-9_]*(/[a-z][a-z0-9_]*)*$`,
+	}
+}

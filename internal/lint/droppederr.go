@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErrAnalyzer flags statement-position calls that silently
+// discard an error result. PR 2 threaded write/close error surfacing
+// through WriteCSV, EventLogger.Err, and the checkpointer precisely so
+// a full disk cannot truncate results silently; a single bare call
+// undoes that. The check covers
+//
+//   - every function or method defined in this module whose results
+//     include an error, and
+//   - Close/Flush/Sync methods from any package (flushers and closers
+//     are where buffered write errors finally surface).
+//
+// An explicit "_ = f()" acknowledges the discard and is allowed, as are
+// deferred cleanup calls (an error is usually already in flight there);
+// prefer the explicit form in new code.
+var DroppedErrAnalyzer = &Analyzer{
+	Name: "droppederr",
+	Doc:  "flags silently discarded error results from in-module functions and closers/flushers",
+	Run:  runDroppedErr,
+}
+
+// flushLikeMethods surface buffered errors regardless of package.
+var flushLikeMethods = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+func runDroppedErr(pass *Pass) error {
+	modulePrefix := pass.Prog.ModulePath
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.Pkg.Info, call)
+			if fn == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || !resultsIncludeError(sig) {
+				return true
+			}
+			inModule := fn.Pkg() != nil &&
+				(fn.Pkg().Path() == modulePrefix || strings.HasPrefix(fn.Pkg().Path(), modulePrefix+"/"))
+			isFlushLike := sig.Recv() != nil && flushLikeMethods[fn.Name()]
+			if !inModule && !isFlushLike {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error result of %s is silently discarded: handle it, or write \"_ = %s(...)\" to discard explicitly",
+				QualifiedName(fn), fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// resultsIncludeError reports whether any result of sig is exactly the
+// built-in error type.
+func resultsIncludeError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok {
+			if named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+				return true
+			}
+		}
+	}
+	return false
+}

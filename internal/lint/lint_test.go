@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// golden runs one analyzer over its fixture package under
+// testdata/src/<name>/ and compares the rendered diagnostics (plus the
+// suppression count) against testdata/<name>.golden. The config may
+// depend on the loaded program (the determinism fixture needs its root
+// spelled with the fixture's own import path).
+func golden(t *testing.T, name string, analyzer *Analyzer, config func(prog *Program) *Config) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(dir, []string{dir})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	var cfg *Config
+	if config != nil {
+		cfg = config(prog)
+	} else {
+		cfg = DefaultConfig()
+	}
+	res, err := RunAnalyzers(prog, []*Analyzer{analyzer}, cfg)
+	if err != nil {
+		t.Fatalf("running %s: %v", analyzer.Name, err)
+	}
+	var b strings.Builder
+	for _, d := range res.Diagnostics {
+		rel, err := filepath.Rel(dir, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	fmt.Fprintf(&b, "suppressed: %d\n", res.Suppressed)
+	got := b.String()
+
+	goldenPath := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading %s (run with -update to create): %v", goldenPath, err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics for %s diverge from %s:\n--- got ---\n%s--- want ---\n%s",
+			name, goldenPath, got, want)
+	}
+}
+
+func TestRawLitGolden(t *testing.T) {
+	golden(t, "rawlit", RawLitAnalyzer, nil)
+}
+
+func TestDroppedErrGolden(t *testing.T) {
+	golden(t, "droppederr", DroppedErrAnalyzer, nil)
+}
+
+func TestMetricNameGolden(t *testing.T) {
+	golden(t, "metricname", MetricNameAnalyzer, nil)
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	golden(t, "determinism", DeterminismAnalyzer, func(prog *Program) *Config {
+		cfg := DefaultConfig()
+		if len(prog.Packages) != 1 {
+			t.Fatalf("determinism fixture loaded %d packages, want 1", len(prog.Packages))
+		}
+		cfg.DeterminismRoots = []string{
+			"^" + regexp.QuoteMeta(prog.Packages[0].Path) + `\.EmitTable$`,
+		}
+		return cfg
+	})
+}
+
+// TestRepositoryIsLintClean is the tier-2 gate in test form: the whole
+// module must pass every analyzer under the production configuration.
+// Every intentional suppression carries a //lint:ignore with a reason,
+// so any new finding fails this test with its file:line.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; skipped with -short")
+	}
+	modDir, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(modDir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	res, err := RunAnalyzers(prog, Analyzers(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		rel, rerr := filepath.Rel(modDir, d.Pos.Filename)
+		if rerr != nil {
+			rel = d.Pos.Filename
+		}
+		t.Errorf("%s:%d:%d: %s: %s", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+}
+
+// TestSuppressionScope pins the directive contract: an ignore covers
+// its own line and the line below, names specific analyzers (or "all"),
+// and a reason-less directive is itself a diagnostic.
+func TestSuppressionScope(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "rawlit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(dir, []string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run with an analyzer set that does NOT include rawlit: the rawlit
+	// ignore directives must not suppress droppederr findings (there are
+	// none in this fixture), and the malformed directive must still be
+	// reported.
+	res, err := RunAnalyzers(prog, []*Analyzer{DroppedErrAnalyzer}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suppressed != 0 {
+		t.Errorf("rawlit-scoped directives suppressed %d droppederr findings, want 0", res.Suppressed)
+	}
+	malformed := 0
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "ignore" {
+			malformed++
+		} else {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("got %d malformed-directive diagnostics, want 1", malformed)
+	}
+}

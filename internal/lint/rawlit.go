@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RawLitAnalyzer flags raw bit/arithmetic manipulation of tagged
+// literal types (aig.Lit and friends) outside the packages that own the
+// encoding. A literal is 2*node+complement; code such as lit^1, lit>>1,
+// or lit&1 silently bakes that encoding into call sites, where it breaks
+// the moment the representation changes and where a typo (lit^2)
+// corrupts a different node instead of failing. The Not/IsCompl/Node/
+// Regular/MakeLit helpers are the only sanctioned spelling.
+var RawLitAnalyzer = &Analyzer{
+	Name: "rawlit",
+	Doc:  "flags raw bit-twiddling of tagged literal types outside their encoding packages",
+	Run:  runRawLit,
+}
+
+// rawLitOps are the operators that expose the literal encoding. Shifts,
+// masks, and xor touch the complement/index packing directly; ordinary
+// arithmetic (lit+1, lit*2) manufactures literals out of thin air.
+var rawLitOps = map[token.Token]bool{
+	token.XOR:     true,
+	token.AND:     true,
+	token.OR:      true,
+	token.AND_NOT: true,
+	token.SHL:     true,
+	token.SHR:     true,
+	token.ADD:     true,
+	token.SUB:     true,
+	token.MUL:     true,
+	token.QUO:     true,
+	token.REM:     true,
+}
+
+func runRawLit(pass *Pass) error {
+	guarded := map[*types.Named]string{} // literal type -> display name
+	for name, allowed := range pass.Config.RawLitTypes {
+		permitted := false
+		for _, pkgPath := range allowed {
+			if pkgPath == pass.Pkg.Path {
+				permitted = true
+				break
+			}
+		}
+		if permitted {
+			continue
+		}
+		if named := lookupNamedType(pass, name); named != nil {
+			guarded[named] = name
+		}
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+	typeOf := func(e ast.Expr) *types.Named {
+		t := pass.Pkg.Info.TypeOf(e)
+		if t == nil {
+			return nil
+		}
+		named, _ := t.(*types.Named)
+		return named
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if !rawLitOps[e.Op] {
+					return true
+				}
+				for _, operand := range []ast.Expr{e.X, e.Y} {
+					if named := typeOf(operand); named != nil {
+						if display, ok := guarded[named]; ok {
+							pass.Reportf(e.Pos(),
+								"raw %q on %s: use the %s helpers (Not/IsCompl/Node/Regular/MakeLit) instead of bit arithmetic on the literal encoding",
+								e.Op.String(), display, named.Obj().Name())
+							return false
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				if e.Op == token.XOR || e.Op == token.SUB {
+					if named := typeOf(e.X); named != nil {
+						if display, ok := guarded[named]; ok {
+							pass.Reportf(e.Pos(),
+								"raw unary %q on %s: use the %s helpers instead of bit arithmetic on the literal encoding",
+								e.Op.String(), display, named.Obj().Name())
+							return false
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lookupNamedType resolves "pkg/path.TypeName" against the packages the
+// current package can see (itself plus its imports, transitively via
+// the type-checker's package graph).
+func lookupNamedType(pass *Pass, qualified string) *types.Named {
+	pkgPath, typeName, ok := splitQualified(qualified)
+	if !ok {
+		return nil
+	}
+	var tpkg *types.Package
+	if pass.Pkg.Path == pkgPath {
+		tpkg = pass.Pkg.Types
+	} else {
+		tpkg = findImported(pass.Pkg.Types, pkgPath, map[*types.Package]bool{})
+	}
+	if tpkg == nil {
+		return nil
+	}
+	obj, _ := tpkg.Scope().Lookup(typeName).(*types.TypeName)
+	if obj == nil {
+		return nil
+	}
+	named, _ := obj.Type().(*types.Named)
+	return named
+}
+
+// splitQualified splits "pkg/path.Name" at the last dot after the last
+// slash.
+func splitQualified(s string) (pkgPath, name string, ok bool) {
+	slash := -1
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			slash = i
+			break
+		}
+	}
+	for i := len(s) - 1; i > slash; i-- {
+		if s[i] == '.' {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// findImported walks the import graph below pkg for the named path.
+func findImported(pkg *types.Package, path string, seen map[*types.Package]bool) *types.Package {
+	if seen[pkg] {
+		return nil
+	}
+	seen[pkg] = true
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == path {
+			return imp
+		}
+		if found := findImported(imp, path, seen); found != nil {
+			return found
+		}
+	}
+	return nil
+}

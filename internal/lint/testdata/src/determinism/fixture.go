@@ -1,0 +1,77 @@
+// Package fixture exercises the determinism analyzer. The test config
+// declares EmitTable as the only emission root, so findings must appear
+// in EmitTable and its static callees but not in Unreachable.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// EmitTable is the fixture emission root. The first range writes rows
+// in map order — flagged.
+func EmitTable(w io.Writer, metrics map[string]float64) {
+	for name, v := range metrics {
+		fmt.Fprintf(w, "%s=%v\n", name, v)
+	}
+	emitSorted(w, metrics)
+	fmt.Fprintf(w, "entries=%d\n", countEntries(metrics))
+	stamp(w)
+	jitter(w)
+}
+
+// emitSorted collects keys then sorts — the range body is
+// order-insensitive, so only the float accumulation below is flagged.
+func emitSorted(w io.Writer, metrics map[string]float64) {
+	names := make([]string, 0, len(metrics))
+	for name := range metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var total float64
+	for _, v := range metrics {
+		total += v
+	}
+	for _, name := range names {
+		fmt.Fprintf(w, "%s=%v\n", name, metrics[name])
+	}
+	fmt.Fprintf(w, "total=%v\n", total)
+}
+
+// countEntries accumulates an integer, which is commutative — clean.
+func countEntries(metrics map[string]float64) int {
+	n := 0
+	for range metrics {
+		n++
+	}
+	return n
+}
+
+// stamp reads the wall clock inside the emission cone — flagged — and
+// shows a reasoned suppression on the second read.
+func stamp(w io.Writer) {
+	fmt.Fprintf(w, "now=%v\n", time.Now())
+	//lint:ignore determinism fixture: exercises directive suppression
+	fmt.Fprintf(w, "since=%v\n", time.Since(time.Time{}))
+}
+
+// jitter draws from the process-global math/rand source — flagged —
+// while the explicitly seeded source is clean.
+func jitter(w io.Writer) {
+	fmt.Fprintf(w, "jitter=%v\n", rand.Float64())
+	seeded := rand.New(rand.NewSource(1))
+	fmt.Fprintf(w, "seeded=%v\n", seeded.Float64())
+}
+
+// Unreachable is outside the emission cone: the same constructs are not
+// flagged here.
+func Unreachable(metrics map[string]float64) float64 {
+	total := 0.0
+	for _, v := range metrics {
+		total += v
+	}
+	return total + float64(time.Now().Unix()) + rand.Float64()
+}

@@ -1,0 +1,49 @@
+// Package fixture exercises the droppederr analyzer: statement-position
+// calls that silently discard an error from an in-module function or a
+// Close/Flush/Sync method must be flagged; explicit "_ =" discards,
+// deferred cleanup, and error-free calls must not.
+package fixture
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+func mayFail() error { return nil }
+
+func twoResults() (int, error) { return 0, nil }
+
+func noError() int { return 0 }
+
+// Drop discards in-module errors at statement position — both flagged.
+func Drop() {
+	mayFail()
+	twoResults()
+}
+
+// Handled covers the sanctioned spellings — clean.
+func Handled() {
+	if err := mayFail(); err != nil {
+		panic(err)
+	}
+	_ = mayFail()
+	noError()
+}
+
+// DropFlush discards errors from flush-like methods, which surface
+// buffered write failures regardless of the defining package — both
+// flagged. The deferred close and the non-flush stdlib call are not.
+func DropFlush(w *bufio.Writer, f *os.File) {
+	w.Flush()
+	f.Close()
+	defer f.Close()
+	fmt.Println("fmt is neither in-module nor flush-like")
+}
+
+// Suppressed carries a reasoned ignore directive — counted, not
+// reported.
+func Suppressed(f *os.File) {
+	//lint:ignore droppederr fixture: a write error was already captured upstream
+	f.Close()
+}

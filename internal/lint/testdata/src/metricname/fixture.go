@@ -1,0 +1,36 @@
+// Package fixture exercises the metricname analyzer: telemetry names
+// must be compile-time constants in snake_case '/'-separated segments.
+// Constant violations and dynamically built names are flagged; bare
+// identifier pass-through and suppressed wrappers are not.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+const opsTotal = "fixture/ops_total"
+
+// Record covers constant names (good and bad) and dynamic construction.
+func Record(kind string, n int) {
+	telemetry.Add(opsTotal, 1)
+	telemetry.Add("fixture/"+"errs_total", 1)
+	telemetry.Add("fixture/BadName", 1)
+	telemetry.Add("fixture/"+kind, 1)
+	telemetry.Observe(fmt.Sprintf("fixture/bucket_%d", n), 1)
+	record(opsTotal)
+}
+
+// record receives an already-checked name: the bare identifier is
+// pass-through plumbing — clean.
+func record(name string) {
+	telemetry.SetGauge(name, 1)
+}
+
+// Suppressed is a sanctioned dynamic-name wrapper with a stated
+// cardinality bound — counted, not reported.
+func Suppressed(kind string) {
+	//lint:ignore metricname fixture: kind ranges over a fixed two-element set
+	telemetry.Add("fixture/"+kind, 1)
+}

@@ -1,0 +1,57 @@
+// Package fixture exercises the rawlit analyzer: every raw bit or
+// arithmetic operation on aig.Lit outside the encoding packages must be
+// flagged; the Lit helper methods and suppressed lines must not.
+package fixture
+
+import "repro/internal/aig"
+
+// Negate flips the complement bit by hand — flagged.
+func Negate(l aig.Lit) aig.Lit {
+	return l ^ 1
+}
+
+// NodeIndex strips the complement bit by hand — flagged.
+func NodeIndex(l aig.Lit) uint32 {
+	return uint32(l >> 1)
+}
+
+// IsComplRaw reads the complement bit by hand — flagged.
+func IsComplRaw(l aig.Lit) bool {
+	return l&1 == 1
+}
+
+// Successor manufactures a literal arithmetically — flagged.
+func Successor(l aig.Lit) aig.Lit {
+	return l + 2
+}
+
+// Invert applies a unary operator to the packed encoding — flagged.
+func Invert(l aig.Lit) aig.Lit {
+	return ^l
+}
+
+// Sanctioned spells the same operations through the helpers — clean.
+func Sanctioned(l aig.Lit) (aig.Lit, bool, int, aig.Lit) {
+	return l.Not(), l.IsCompl(), l.Node(), l.Regular()
+}
+
+// Compared uses only comparison operators, which do not expose the
+// encoding — clean.
+func Compared(a, b aig.Lit) bool {
+	return a == b || a < b
+}
+
+// Suppressed carries a reasoned ignore directive — counted, not
+// reported.
+func Suppressed(l aig.Lit) aig.Lit {
+	//lint:ignore rawlit fixture: exercises directive suppression
+	return l ^ 1
+}
+
+// Malformed carries a directive without a reason, which is itself a
+// finding (the rawlit diagnostic below it is still suppressed, but the
+// malformed directive keeps the run red and auditable).
+func Malformed(l aig.Lit) aig.Lit {
+	//lint:ignore rawlit
+	return l ^ 1
+}

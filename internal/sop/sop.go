@@ -415,9 +415,17 @@ func (c Cover) Kernels() []Kernel {
 		if len(cov.Cubes) > 1 {
 			out = append(out, Kernel{CoKernel: co, Cover: cov})
 		}
+		// Iterate literals in sorted order: the seen-fingerprint dedup
+		// prunes by first visit, so map-order iteration would change
+		// which co-kernels get expanded from run to run.
 		counts := cov.litCounts()
-		for l, cnt := range counts {
-			if cnt < 2 || l < minLit {
+		lits := make([]litIndex, 0, len(counts))
+		for l := range counts {
+			lits = append(lits, l)
+		}
+		sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+		for _, l := range lits {
+			if counts[l] < 2 || l < minLit {
 				continue
 			}
 			quot, _ := cov.DivideByLiteral(l.variable(), l.positive())

@@ -41,9 +41,11 @@ func Recipes() []Recipe {
 // "synth/<name>/gates" histogram (no-op until telemetry is enabled).
 func instrumentBuild(name string, build func(spec []tt.TT) *aig.AIG) func(spec []tt.TT) *aig.AIG {
 	return func(spec []tt.TT) *aig.AIG {
+		//lint:ignore metricname name comes from the fixed recipe registry (sop, esp, fx, bdd, shannon, dsd, anf), so cardinality is bounded
 		sp := telemetry.StartSpan("synth/" + name)
 		g := build(spec)
 		sp.End()
+		//lint:ignore metricname name comes from the fixed recipe registry, so cardinality is bounded
 		telemetry.Observe("synth/"+name+"/gates", float64(g.NumAnds()))
 		return g
 	}

@@ -30,6 +30,7 @@ func (s *Span) StartSpan(child string) *Span {
 	if s == nil {
 		return nil
 	}
+	//lint:ignore metricname nesting contract: child segments are constants checked at their call sites, parents recurse to a checked root
 	return s.r.StartSpan(s.name + "/" + child)
 }
 
@@ -108,7 +109,11 @@ func (r *Registry) SpanSeconds(selector string) (count int64, seconds float64) {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for name, h := range r.spans {
+	// Sum in sorted-name order: float addition is not associative, so
+	// map-order accumulation would perturb the low bits of the stage
+	// totals from run to run.
+	for _, name := range names(r.spans) {
+		h := r.spans[name]
 		if strings.HasSuffix(selector, "/") {
 			if !strings.HasPrefix(name, selector) {
 				continue

@@ -1,12 +1,13 @@
 # Test tiers. tier1 is the seed gate (must always stay green); tier2
 # adds static analysis — go vet plus the domain lint suite (aiglint:
 # AIG-literal discipline, emission determinism, dropped errors, metric
-# names) — and the race detector over the concurrency-safe telemetry
+# names, ResponseWriter write errors) — and the race detector over the
+# concurrency-safe telemetry
 # layer and everything it instruments, including the fault-tolerance
 # suite (checkpoint/resume byte-identity, panic quarantine, equivalence
 # guards) in internal/harness.
 
-.PHONY: tier1 tier2 lint bench fuzz
+.PHONY: tier1 tier2 lint bench fuzz serve
 
 tier1:
 	go build ./... && go test ./...
@@ -18,6 +19,13 @@ tier2:
 # suppression counts). Findings exit nonzero with file:line positions.
 lint:
 	go run ./cmd/aiglint -v ./...
+
+# serve runs the diversity-as-a-service daemon (see README "Serving").
+# Override the listen address with AIGD_ADDR=:9000.
+AIGD_ADDR ?= :8347
+
+serve:
+	go run ./cmd/aigd -addr $(AIGD_ADDR)
 
 # fuzz hammers the AIGER parser with coverage-guided random inputs;
 # the target asserts parse-or-error (never panic) plus write/read

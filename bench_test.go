@@ -185,6 +185,51 @@ func BenchmarkProfile(b *testing.B) {
 	}
 }
 
+// BenchmarkProfileArtifacts measures the payoff of the Artifacts split:
+// "all" is what every profile build cost before partial computation
+// (and still costs when every metric family is requested); each named
+// family is what a request needing only that family pays now.
+func BenchmarkProfileArtifacts(b *testing.B) {
+	g := benchAIG(b)
+	cases := []struct {
+		name  string
+		needs simil.Artifacts
+	}{
+		{"all", simil.AllArtifacts},
+		{"overlap", simil.NeedOverlap},
+		{"netsimile", simil.NeedNetSimile},
+		{"wl", simil.NeedWL},
+		{"spectrum", simil.NeedSpectrum},
+		{"optscores", simil.NeedOptScores},
+		{"none", 0},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simil.NewProfileFor(g, simil.ProfileOptions{}, c.needs)
+			}
+		})
+	}
+}
+
+// BenchmarkProfileExtend measures growing a minimal profile into a full
+// one — the service's cache-upgrade path — against building full from
+// scratch.
+func BenchmarkProfileExtend(b *testing.B) {
+	g := benchAIG(b)
+	b.Run("extend", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := simil.NewProfileFor(g, simil.ProfileOptions{}, simil.NeedOverlap)
+			p.Extend(simil.ProfileOptions{}, simil.AllArtifacts)
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			simil.NewProfileFor(g, simil.ProfileOptions{}, simil.AllArtifacts)
+		}
+	})
+}
+
 func BenchmarkMetrics(b *testing.B) {
 	r := rand.New(rand.NewSource(44))
 	spec := []tt.TT{tt.Random(7, r)}

@@ -1,0 +1,94 @@
+// Command aigd runs the diversity-as-a-service daemon: a long-running
+// HTTP/JSON server over the similarity framework with content-addressed
+// AIG storage, cached pairwise scoring, and async optimization jobs.
+//
+// Usage:
+//
+//	aigd [-addr :8347] [-workers N] [-queue-depth N] [-cache-entries N]
+//	     [-store-entries N] [-spill-dir DIR] [-spill-threshold BYTES]
+//	     [-drain-timeout DUR]
+//
+// The API is mounted alongside the telemetry endpoints (/metrics,
+// /debug/vars, /debug/pprof). On SIGTERM or SIGINT the daemon stops
+// admitting work, drains in-flight jobs for up to -drain-timeout, then
+// exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "worker queue depth (0 = 4x workers)")
+	cacheEntries := flag.Int("cache-entries", 0, "pairwise result cache capacity (0 = 65536)")
+	storeEntries := flag.Int("store-entries", 0, "content-addressed AIG store capacity (0 = 4096)")
+	spillDir := flag.String("spill-dir", "", "directory for oversized job results (empty = keep in memory)")
+	spillThreshold := flag.Int("spill-threshold", 0, "spill job results larger than this many bytes (0 = 256 KiB)")
+	drainTimeout := flag.Duration("drain-timeout", service.DrainTimeoutDefault, "how long to wait for in-flight jobs on shutdown")
+	flag.Parse()
+
+	reg := telemetry.Enable()
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		StoreEntries: *storeEntries,
+		SpillDir:     *spillDir,
+		SpillBytes:   *spillThreshold,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/", reg.Handler())
+	mux.Handle("/", svc.Handler())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aigd:", err)
+		return 1
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "aigd: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "aigd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintf(os.Stderr, "aigd: draining (budget %s)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "aigd: drain incomplete:", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		_ = srv.Close()
+	}
+	svc.Close()
+	fmt.Fprintln(os.Stderr, "aigd: bye")
+	return 0
+}

@@ -2,8 +2,9 @@
 // static analyzers, built only on the standard library, that enforce
 // invariants the compiler cannot see — AIG-literal encoding discipline
 // (rawlit), byte-identical result emission (determinism), error-
-// handling hygiene (droppederr), and telemetry name stability
-// (metricname).
+// handling hygiene (droppederr), telemetry name stability
+// (metricname), and http.ResponseWriter write-error discipline
+// (httpwrite).
 //
 // Usage:
 //

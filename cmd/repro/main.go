@@ -32,6 +32,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -221,21 +222,14 @@ func summaryOnlyFigure3(res *harness.Result) string {
 	return strings.Join(lines[:3], "\n") + "\n(run with -figure 3 for the full scatter series)\n"
 }
 
-// writeCSV writes the pair samples, surfacing write and close errors so
-// a full disk cannot silently truncate results_pairs.csv.
+// writeCSV writes the pair samples through the atomic-replace helper:
+// the new file is fsynced before it is renamed over the old one, so a
+// crash or full disk leaves either the previous complete
+// results_pairs.csv or the new one — never a truncated hybrid.
 func writeCSV(path string, res *harness.Result) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := harness.WriteCSV(f, res); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("writing %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("closing %s: %w", path, err)
-	}
-	return nil
+	return harness.WriteFileAtomic(path, func(w io.Writer) error {
+		return harness.WriteCSV(w, res)
+	})
 }
 
 func fatal(err error) {

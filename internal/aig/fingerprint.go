@@ -1,0 +1,70 @@
+package aig
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint returns the canonical structural hash of g as a hex
+// string. It is a Merkle-style digest: every node's hash is derived
+// only from its kind (constant, the i-th primary input, AND) and the
+// hashes of its fanins with their complement flags, with the two fanin
+// edges sorted by hash so the digest cannot depend on node numbering or
+// construction order; the graph digest folds in the PI count and the
+// PO edge sequence. Consequently:
+//
+//   - two AIGs whose PO-reachable structure is identical hash
+//     identically, regardless of the order nodes were created in or of
+//     dead cones left behind by optimization passes;
+//   - symbol names never influence the fingerprint — it identifies
+//     structure, which is exactly the key under which per-graph
+//     profiles and pairwise metric results may be shared.
+//
+// Two functionally equivalent but structurally different AIGs hash
+// differently on purpose: the diversity metrics score structure.
+func (g *AIG) Fingerprint() string {
+	const hashLen = sha256.Size
+	hashes := make([][hashLen]byte, g.NumObjs())
+	var buf [4]byte
+	hashes[0] = sha256.Sum256([]byte("const0"))
+	for i := 1; i <= g.numPIs && i < g.NumObjs(); i++ {
+		binary.LittleEndian.PutUint32(buf[:], uint32(i-1))
+		hashes[i] = sha256.Sum256(append([]byte("pi"), buf[:]...))
+	}
+	// The node array is a topological order, so fanin hashes are always
+	// ready. Unreachable nodes are hashed too (cheaper than a
+	// reachability pass) but never reach the graph digest, which folds
+	// in PO cones only.
+	edge := func(l Lit) []byte {
+		e := make([]byte, 0, hashLen+1)
+		e = append(e, hashes[l.Node()][:]...)
+		if l.IsCompl() {
+			return append(e, 1)
+		}
+		return append(e, 0)
+	}
+	for id := g.numPIs + 1; id < g.NumObjs(); id++ {
+		e0, e1 := edge(g.fanin0[id]), edge(g.fanin1[id])
+		if bytes.Compare(e0, e1) > 0 {
+			e0, e1 = e1, e0
+		}
+		h := sha256.New()
+		h.Write([]byte("and"))
+		h.Write(e0)
+		h.Write(e1)
+		h.Sum(hashes[id][:0])
+	}
+	h := sha256.New()
+	h.Write([]byte("aig"))
+	binary.LittleEndian.PutUint32(buf[:], uint32(g.numPIs))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint32(buf[:], uint32(len(g.pos)))
+	h.Write(buf[:])
+	for _, po := range g.pos {
+		h.Write(edge(po))
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

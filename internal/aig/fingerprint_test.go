@@ -1,0 +1,71 @@
+package aig
+
+import "testing"
+
+// TestFingerprintOrderIndependent: the same reachable structure built in
+// different node-creation orders must fingerprint identically.
+func TestFingerprintOrderIndependent(t *testing.T) {
+	build := func(reverse bool) *AIG {
+		g := New(4)
+		a, b, c, d := g.PI(0), g.PI(1), g.PI(2), g.PI(3)
+		var x, y Lit
+		if reverse {
+			y = g.And(c, d)
+			x = g.And(a, b)
+		} else {
+			x = g.And(a, b)
+			y = g.And(c, d)
+		}
+		g.AddPO(g.And(x, y.Not()))
+		return g
+	}
+	f1, f2 := build(false).Fingerprint(), build(true).Fingerprint()
+	if f1 != f2 {
+		t.Errorf("construction order changed fingerprint: %s vs %s", f1, f2)
+	}
+}
+
+// TestFingerprintIgnoresDanglingAndNames: dead cones and symbol names
+// are not structure and must not affect the fingerprint.
+func TestFingerprintIgnoresDanglingAndNames(t *testing.T) {
+	base := New(3)
+	po := base.And(base.PI(0), base.PI(1))
+	base.AddPO(po)
+
+	decorated := New(3)
+	dpo := decorated.And(decorated.PI(0), decorated.PI(1))
+	decorated.And(decorated.PI(1), decorated.PI(2)) // dangling
+	decorated.AddPO(dpo)
+	decorated.SetPIName(0, "a")
+	decorated.SetPOName(0, "out")
+
+	if f1, f2 := base.Fingerprint(), decorated.Fingerprint(); f1 != f2 {
+		t.Errorf("dangling node or names changed fingerprint: %s vs %s", f1, f2)
+	}
+}
+
+// TestFingerprintDistinguishes: structural differences — an extra
+// complement, a different PO order, a different PI count — must change
+// the fingerprint.
+func TestFingerprintDistinguishes(t *testing.T) {
+	mk := func(numPIs int, f func(g *AIG)) string {
+		g := New(numPIs)
+		f(g)
+		return g.Fingerprint()
+	}
+	and := mk(2, func(g *AIG) { g.AddPO(g.And(g.PI(0), g.PI(1))) })
+	nand := mk(2, func(g *AIG) { g.AddPO(g.And(g.PI(0), g.PI(1)).Not()) })
+	andWide := mk(3, func(g *AIG) { g.AddPO(g.And(g.PI(0), g.PI(1))) })
+	twoPO := mk(2, func(g *AIG) {
+		x := g.And(g.PI(0), g.PI(1))
+		g.AddPO(x)
+		g.AddPO(x.Not())
+	})
+	seen := map[string]string{}
+	for name, fp := range map[string]string{"and": and, "nand": nand, "andWide": andWide, "twoPO": twoPO} {
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s and %s collide on fingerprint %s", prev, name, fp)
+		}
+		seen[fp] = name
+	}
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic replaces path with content produced by write, with
+// crash-safety on every step: the content goes to a temp file in the
+// same directory, is fsynced to stable storage, and only then renamed
+// over path; finally the directory itself is fsynced so the rename is
+// durable. A crash or full disk at any point leaves either the old
+// complete file or the new complete file — never a truncated hybrid.
+// Results files (CSV exports, the service's spilled job results) are
+// replaced through this helper so a reader can never observe a torn
+// file.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			_ = tmp.Close()
+			_ = os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Durability of the rename itself: fsync the directory. Some
+	// platforms cannot fsync directories; the rename already happened,
+	// so a failure here only weakens crash durability, not atomicity.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

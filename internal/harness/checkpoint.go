@@ -168,10 +168,14 @@ func LoadCheckpoint(path string, cfg Config) ([]SpecRecord, int64, error) {
 }
 
 // Append persists one completed spec. The write is flushed to the OS
-// before returning, so a subsequent kill cannot lose it.
+// and fsynced to stable storage before returning, so neither a kill
+// nor a machine crash can lose it.
 func (c *Checkpointer) Append(rec SpecRecord) error {
 	if err := c.append(rec); err != nil {
 		return fmt.Errorf("harness: appending checkpoint record for %s: %w", rec.Spec, err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("harness: syncing checkpoint record for %s: %w", rec.Spec, err)
 	}
 	return nil
 }

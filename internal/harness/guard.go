@@ -47,9 +47,11 @@ func (r *Result) FailureSummary() string {
 	return b.String()
 }
 
-// recoverTo converts a panic into an error on *err and counts it, so
-// one crashing variant cannot abort a multi-hour batch run.
-func recoverTo(err *error, what string) {
+// Recover converts an in-flight panic into an error on *err and counts
+// it under harness/panics_recovered, so one crashing variant (or one
+// crashing service job) cannot abort the batch run or the daemon. Use
+// it deferred: defer harness.Recover(&err, "what was running").
+func Recover(err *error, what string) {
 	if r := recover(); r != nil {
 		telemetry.Add("harness/panics_recovered", 1)
 		*err = fmt.Errorf("panic in %s: %v", what, r)
@@ -58,19 +60,20 @@ func recoverTo(err *error, what string) {
 
 // safeBuild runs one synthesis recipe with panic isolation.
 func safeBuild(rec synth.Recipe, spec []tt.TT) (g *aig.AIG, err error) {
-	defer recoverTo(&err, "recipe "+rec.Name)
+	defer Recover(&err, "recipe "+rec.Name)
 	return rec.Build(spec), nil
 }
 
-// safeProfile computes the similarity profile with panic isolation.
-func safeProfile(g *aig.AIG, opts simil.ProfileOptions) (p *simil.Profile, err error) {
-	defer recoverTo(&err, "profile")
-	return simil.NewProfile(g, opts), nil
+// SafeProfile computes the similarity profile for the given artifact
+// families with panic isolation.
+func SafeProfile(g *aig.AIG, opts simil.ProfileOptions, needs simil.Artifacts) (p *simil.Profile, err error) {
+	defer Recover(&err, "profile")
+	return simil.NewProfileFor(g, opts, needs), nil
 }
 
-// safeFlow runs one optimization flow with panic isolation.
-func safeFlow(ctx context.Context, flow opt.Flow, g *aig.AIG, seed int64) (og *aig.AIG, err error) {
-	defer recoverTo(&err, "flow "+flow.Name)
+// SafeFlow runs one optimization flow with panic isolation.
+func SafeFlow(ctx context.Context, flow opt.Flow, g *aig.AIG, seed int64) (og *aig.AIG, err error) {
+	defer Recover(&err, "flow "+flow.Name)
 	return flow.RunCtx(ctx, g, seed), nil
 }
 
@@ -129,12 +132,12 @@ func (c Config) buildVariant(ctx context.Context, spec workload.Spec, rec synth.
 	}
 	popts := c.Profile
 	popts.Seed = specSeed(c.Seed, spec.Name, rec.Name)
-	if v.Profile, err = safeProfile(g, popts); err != nil {
+	if v.Profile, err = SafeProfile(g, popts, simil.AllArtifacts); err != nil {
 		return fail("", err.Error())
 	}
 	for _, flow := range flows {
 		fctx, cancel := c.flowContext(ctx)
-		og, err := safeFlow(fctx, flow, g, specSeed(c.Seed, spec.Name, rec.Name, flow.Name))
+		og, err := SafeFlow(fctx, flow, g, specSeed(c.Seed, spec.Name, rec.Name, flow.Name))
 		if err == nil && fctx.Err() != nil && ctx.Err() == nil {
 			// The flow's own budget expired (not a run-level cancel): it
 			// degraded to its best AIG so far; count it and keep going.

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HTTPWriteAnalyzer flags statement-position calls that write to an
+// http.ResponseWriter and silently discard the error: w.Write,
+// io.WriteString(w, ...), fmt.Fprintf(w, ...), and any other call whose
+// results include an error and whose receiver or an argument is
+// statically typed net/http.ResponseWriter. The service daemon's
+// invariant is that a failed response write is at least counted
+// (telemetry "service/write_errors"); a bare w.Write loses the signal
+// that clients are disconnecting mid-response. droppederr does not
+// cover these calls — the writers live in net/http, fmt, and io, all
+// outside the module and none flush-like — so this check closes the
+// gap for handler code specifically.
+//
+// Handled spellings — "if err := ...", "_, _ = w.Write(...)", or
+// routing the write through an error-handling helper — are all clean.
+var HTTPWriteAnalyzer = &Analyzer{
+	Name: "httpwrite",
+	Doc:  "flags http.ResponseWriter writes whose error result is silently discarded",
+	Run:  runHTTPWrite,
+}
+
+func runHTTPWrite(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.Pkg.Info, call)
+			if fn == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || !resultsIncludeError(sig) {
+				return true
+			}
+			if !writesToResponseWriter(pass.Pkg.Info, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error result of %s writing to an http.ResponseWriter is silently discarded: a failed response write means the client is gone — handle or count it",
+				QualifiedName(fn))
+			return true
+		})
+	}
+	return nil
+}
+
+// writesToResponseWriter reports whether the call's receiver or any
+// argument is statically typed net/http.ResponseWriter.
+func writesToResponseWriter(info *types.Info, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if isResponseWriter(info.TypeOf(sel.X)) {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if isResponseWriter(info.TypeOf(arg)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isResponseWriter reports whether t is exactly the named interface
+// net/http.ResponseWriter.
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
+}

@@ -77,6 +77,10 @@ func TestMetricNameGolden(t *testing.T) {
 	golden(t, "metricname", MetricNameAnalyzer, nil)
 }
 
+func TestHTTPWriteGolden(t *testing.T) {
+	golden(t, "httpwrite", HTTPWriteAnalyzer, nil)
+}
+
 func TestDeterminismGolden(t *testing.T) {
 	golden(t, "determinism", DeterminismAnalyzer, func(prog *Program) *Config {
 		cfg := DefaultConfig()

@@ -1,0 +1,42 @@
+// Package fixture exercises the httpwrite analyzer: statement-position
+// writes to an http.ResponseWriter that silently discard the error must
+// be flagged; handled writes, explicit discards, writes to other
+// writers, and error-free ResponseWriter calls must not.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+// Drop discards write errors three ways — all flagged.
+func Drop(w http.ResponseWriter, _ *http.Request) {
+	w.Write([]byte("hi"))
+	io.WriteString(w, "hi")
+	fmt.Fprintf(w, "n=%d", 1)
+}
+
+// serveMu's ServeHTTP method-form handler is flagged the same way.
+type serveMu struct{}
+
+func (serveMu) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintln(w, "hello")
+}
+
+// Handled covers the sanctioned spellings — all clean.
+func Handled(w http.ResponseWriter, _ *http.Request) {
+	if _, err := w.Write([]byte("hi")); err != nil {
+		return
+	}
+	_, _ = io.WriteString(w, "hi")
+	w.WriteHeader(http.StatusTeapot) // no error result
+	fmt.Fprintln(os.Stderr, "not a ResponseWriter")
+}
+
+// Suppressed carries an acknowledged discard — counted, not reported.
+func Suppressed(w http.ResponseWriter, _ *http.Request) {
+	//lint:ignore httpwrite fixture: exercises directive suppression
+	w.Write([]byte("hi"))
+}

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// resultCache is a sharded in-memory LRU of pairwise metric scores
+// keyed "(metric, fpA, fpB)" with the fingerprints in sorted order
+// (every metric in the registry is symmetric). Sharding keeps lock
+// contention bounded under concurrent traffic; each shard holds its own
+// LRU list.
+type resultCache struct {
+	shards []cacheShard
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	byKey map[string]*list.Element
+	order *list.List // front = most recently used
+	cap   int
+}
+
+type cacheItem struct {
+	key string
+	val float64
+}
+
+const cacheShards = 16
+
+func newResultCache(entries int) *resultCache {
+	perShard := entries / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &resultCache{shards: make([]cacheShard, cacheShards)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{byKey: make(map[string]*list.Element), order: list.New(), cap: perShard}
+	}
+	return c
+}
+
+func (c *resultCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%cacheShards]
+}
+
+func (c *resultCache) get(key string) (float64, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byKey[key]
+	if !ok {
+		telemetry.Add("service/cache_misses", 1)
+		return 0, false
+	}
+	s.order.MoveToFront(el)
+	telemetry.Add("service/cache_hits", 1)
+	return el.Value.(*cacheItem).val, true
+}
+
+func (c *resultCache) put(key string, val float64) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		el.Value.(*cacheItem).val = val
+		s.order.MoveToFront(el)
+		return
+	}
+	s.byKey[key] = s.order.PushFront(&cacheItem{key: key, val: val})
+	for s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.byKey, oldest.Value.(*cacheItem).key)
+		telemetry.Add("service/cache_evictions", 1)
+	}
+}
+
+// --- singleflight ------------------------------------------------------
+
+// flightGroup deduplicates concurrent identical computations: the first
+// caller for a key runs fn, every concurrent duplicate waits for that
+// result instead of recomputing. (A minimal in-house singleflight — the
+// module is dependency-free by design.)
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  float64
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// do runs fn once per key among concurrent callers; shared reports
+// whether this caller joined another caller's flight.
+func (g *flightGroup) do(key string, fn func() (float64, error)) (val float64, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		telemetry.Add("service/singleflight_shared", 1)
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	close(c.done)
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, c.err, false
+}

@@ -1,0 +1,569 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/aig"
+	"repro/internal/aiger"
+	"repro/internal/harness"
+	"repro/internal/opt"
+	"repro/internal/simil"
+	"repro/internal/telemetry"
+)
+
+// maxAIGERBody bounds a submitted AIGER payload (16 MiB is orders of
+// magnitude above anything the framework's workloads produce).
+const maxAIGERBody = 16 << 20
+
+// --- wire types --------------------------------------------------------
+
+// AIGView describes one stored AIG.
+type AIGView struct {
+	Fingerprint string `json:"fingerprint"`
+	PIs         int    `json:"pis"`
+	POs         int    `json:"pos"`
+	Ands        int    `json:"ands"`
+	Levels      int    `json:"levels"`
+	// Known reports that the submitted structure was already in the
+	// store — the content-addressed fast path.
+	Known bool `json:"known"`
+}
+
+type metricsRequest struct {
+	A       string   `json:"a"`
+	B       string   `json:"b"`
+	Metrics []string `json:"metrics,omitempty"`
+}
+
+type metricsResponse struct {
+	A      string             `json:"a"`
+	B      string             `json:"b"`
+	Scores map[string]float64 `json:"scores"`
+}
+
+type batchRequest struct {
+	AIGs    []string `json:"aigs"`
+	Metrics []string `json:"metrics,omitempty"`
+}
+
+type batchResponse struct {
+	AIGs []string `json:"aigs"`
+	// Pairs holds one entry per unordered pair, indexed into AIGs.
+	Pairs []batchPair `json:"pairs"`
+}
+
+type batchPair struct {
+	I      int                `json:"i"`
+	J      int                `json:"j"`
+	Scores map[string]float64 `json:"scores"`
+}
+
+type optimizeRequest struct {
+	AIG  string `json:"aig"`
+	Flow string `json:"flow"`
+	Seed int64  `json:"seed,omitempty"`
+}
+
+// OptimizeResult is an optimize job's output. The optimized structure
+// is interned back into the store, so its fingerprint is immediately
+// usable in metric and report requests.
+type OptimizeResult struct {
+	Fingerprint          string `json:"fingerprint"`
+	Flow                 string `json:"flow"`
+	Seed                 int64  `json:"seed"`
+	GatesBefore          int    `json:"gates_before"`
+	GatesAfter           int    `json:"gates_after"`
+	LevelsBefore         int    `json:"levels_before"`
+	LevelsAfter          int    `json:"levels_after"`
+	OptimizedFingerprint string `json:"optimized_fingerprint"`
+	AIGER                string `json:"aiger"`
+}
+
+type reportRequest struct {
+	A       string   `json:"a"`
+	B       string   `json:"b"`
+	Flows   []string `json:"flows,omitempty"`
+	Metrics []string `json:"metrics,omitempty"`
+	Seed    int64    `json:"seed,omitempty"`
+}
+
+type jobAccepted struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	Poll   string    `json:"poll"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- plumbing ----------------------------------------------------------
+
+// reply writes a JSON response. An encode/write failure means the
+// client is gone; it is counted, not propagated.
+func reply(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		telemetry.Add("service/write_errors", 1)
+	}
+}
+
+func replyError(w http.ResponseWriter, code int, format string, args ...any) {
+	telemetry.Add("service/http_errors", 1)
+	reply(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// shed refuses a request from a saturated endpoint: 429 plus a
+// Retry-After hint so well-behaved clients back off instead of
+// hammering.
+func shed(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	replyError(w, http.StatusTooManyRequests, "saturated, retry later")
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxAIGERBody))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// Handler returns the daemon's HTTP API. Every endpoint except
+// /healthz refuses with 503 once the server is draining.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/aigs", s.guard(s.handleSubmitAIG))
+	mux.HandleFunc("GET /v1/aigs/{fp}", s.guard(s.handleGetAIG))
+	mux.HandleFunc("POST /v1/metrics", s.guard(s.handleMetrics))
+	mux.HandleFunc("POST /v1/metrics/batch", s.guard(s.handleMetricsBatch))
+	mux.HandleFunc("POST /v1/optimize", s.guard(s.handleOptimize))
+	mux.HandleFunc("POST /v1/report", s.guard(s.handleReport))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.guard(s.handleGetJob))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.guard(s.handleCancelJob))
+	return mux
+}
+
+// guard wraps a handler with the drain gate and request accounting.
+func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		telemetry.Add("service/requests", 1)
+		if s.draining.Load() {
+			w.Header().Set("Connection", "close")
+			replyError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		sp := telemetry.StartSpan("service/request")
+		h(w, r)
+		sp.End()
+	}
+}
+
+// --- endpoints ---------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	reply(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.draining.Load(),
+		"aigs":     s.store.len(),
+	})
+}
+
+// handleSubmitAIG accepts an AIGER payload (ASCII or binary), validates
+// it with the structural verifier, and interns it content-addressed:
+// resubmitting an identical structure returns the same fingerprint
+// without re-validating or re-profiling anything.
+func (s *Server) handleSubmitAIG(w http.ResponseWriter, r *http.Request) {
+	g, err := aiger.Read(http.MaxBytesReader(w, r.Body, maxAIGERBody))
+	if err != nil {
+		replyError(w, http.StatusBadRequest, "parsing AIGER: %v", err)
+		return
+	}
+	if err := g.Check(); err != nil {
+		replyError(w, http.StatusBadRequest, "invalid AIG: %v", err)
+		return
+	}
+	e, known := s.store.put(g)
+	reply(w, http.StatusOK, viewOf(e, known))
+}
+
+func viewOf(e *storedAIG, known bool) AIGView {
+	return AIGView{
+		Fingerprint: e.fp,
+		PIs:         e.stats.PIs, POs: e.stats.POs,
+		Ands: e.stats.Ands, Levels: e.stats.Levels,
+		Known: known,
+	}
+}
+
+func (s *Server) handleGetAIG(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.store.get(r.PathValue("fp"))
+	if !ok {
+		replyError(w, http.StatusNotFound, "unknown fingerprint %q", r.PathValue("fp"))
+		return
+	}
+	reply(w, http.StatusOK, viewOf(e, true))
+}
+
+// resolvePair looks up both referenced AIGs.
+func (s *Server) resolvePair(fpA, fpB string) (ea, eb *storedAIG, err error) {
+	ea, ok := s.store.get(fpA)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown fingerprint %q (submit it via POST /v1/aigs first)", fpA)
+	}
+	eb, ok = s.store.get(fpB)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown fingerprint %q (submit it via POST /v1/aigs first)", fpB)
+	}
+	return ea, eb, nil
+}
+
+// handleMetrics serves pairwise similarity/dissimilarity scores for two
+// previously submitted AIGs. The computation runs on the bounded worker
+// pool; a saturated pool sheds with 429.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sp := telemetry.StartSpan("service/metrics")
+	defer sp.End()
+	if !s.metricsAdm.enter() {
+		shed(w)
+		return
+	}
+	defer s.metricsAdm.leave()
+
+	var req metricsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		replyError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	metrics, err := resolveMetrics(req.Metrics)
+	if err != nil {
+		replyError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ea, eb, err := s.resolvePair(req.A, req.B)
+	if err != nil {
+		replyError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	var scores map[string]float64
+	var serr error
+	err = s.pool.run(r.Context(), func() { scores, serr = s.pairScores(ea, eb, metrics) })
+	if err != nil {
+		s.replyPoolError(w, r, err)
+		return
+	}
+	if serr != nil {
+		replyError(w, http.StatusInternalServerError, "%v", serr)
+		return
+	}
+	reply(w, http.StatusOK, metricsResponse{A: ea.fp, B: eb.fp, Scores: scores})
+}
+
+// handleMetricsBatch scores every unordered pair among n submitted
+// AIGs. This is the batch path the store and profile cache exist for:
+// per-graph preprocessing runs once per graph (n profiles), not once
+// per pair (n·(n−1) would-be profiles).
+func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
+	sp := telemetry.StartSpan("service/metrics_batch")
+	defer sp.End()
+	if !s.metricsAdm.enter() {
+		shed(w)
+		return
+	}
+	defer s.metricsAdm.leave()
+
+	var req batchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		replyError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.AIGs) < 2 {
+		replyError(w, http.StatusBadRequest, "batch needs at least 2 AIGs, got %d", len(req.AIGs))
+		return
+	}
+	metrics, err := resolveMetrics(req.Metrics)
+	if err != nil {
+		replyError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	entries := make([]*storedAIG, len(req.AIGs))
+	for i, fp := range req.AIGs {
+		e, ok := s.store.get(fp)
+		if !ok {
+			replyError(w, http.StatusNotFound, "unknown fingerprint %q (submit it via POST /v1/aigs first)", fp)
+			return
+		}
+		entries[i] = e
+	}
+	resp := batchResponse{AIGs: req.AIGs}
+	var serr error
+	err = s.pool.run(r.Context(), func() {
+		// Coalesce the batch's per-graph work up front: one profile per
+		// graph covering the union of artifact needs.
+		needs := simil.Needs(metrics)
+		for _, e := range entries {
+			if _, perr := s.profileFor(e, needs); perr != nil {
+				serr = perr
+				return
+			}
+		}
+		for i := 0; i < len(entries); i++ {
+			for j := i + 1; j < len(entries); j++ {
+				scores, perr := s.pairScores(entries[i], entries[j], metrics)
+				if perr != nil {
+					serr = perr
+					return
+				}
+				resp.Pairs = append(resp.Pairs, batchPair{I: i, J: j, Scores: scores})
+			}
+		}
+	})
+	if err != nil {
+		s.replyPoolError(w, r, err)
+		return
+	}
+	if serr != nil {
+		replyError(w, http.StatusInternalServerError, "%v", serr)
+		return
+	}
+	reply(w, http.StatusOK, resp)
+}
+
+// replyPoolError maps pool failures: saturation sheds with 429, a
+// client disconnect (context cancellation) is counted and logged with
+// 499-style semantics (the client is gone; any status is unread).
+func (s *Server) replyPoolError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, errBusy) {
+		shed(w)
+		return
+	}
+	if r.Context().Err() != nil {
+		telemetry.Add("service/client_disconnects", 1)
+	}
+	replyError(w, http.StatusServiceUnavailable, "%v", err)
+}
+
+// handleOptimize schedules an optimization flow as an async job and
+// returns its ID immediately.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	sp := telemetry.StartSpan("service/optimize")
+	defer sp.End()
+	if !s.jobsAdm.enter() {
+		shed(w)
+		return
+	}
+	var req optimizeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.jobsAdm.leave()
+		replyError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Flow == "" {
+		req.Flow = "orchestrate"
+	}
+	var flow opt.Flow
+	found := false
+	for _, f := range opt.Flows() {
+		if f.Name == req.Flow {
+			flow, found = f, true
+		}
+	}
+	if !found {
+		s.jobsAdm.leave()
+		replyError(w, http.StatusBadRequest, "unknown flow %q (have %v)", req.Flow, flowNames())
+		return
+	}
+	e, ok := s.store.get(req.AIG)
+	if !ok {
+		s.jobsAdm.leave()
+		replyError(w, http.StatusNotFound, "unknown fingerprint %q (submit it via POST /v1/aigs first)", req.AIG)
+		return
+	}
+	j, err := s.jobs.submit(s.baseCtx, s.pool, "optimize", func(ctx context.Context) (any, error) {
+		defer s.jobsAdm.leave()
+		return s.runOptimize(ctx, e, flow, req.Seed)
+	})
+	if err != nil {
+		s.jobsAdm.leave()
+		shed(w)
+		return
+	}
+	s.accept(w, j)
+}
+
+func (s *Server) accept(w http.ResponseWriter, j *job) {
+	v := j.snapshot()
+	reply(w, http.StatusAccepted, jobAccepted{ID: v.ID, Status: v.Status, Poll: "/v1/jobs/" + v.ID})
+}
+
+// runOptimize executes one flow with the same guarantees the harness
+// gives a variant: panic isolation (in the job engine) and a
+// functional-equivalence check — a flow that changes the function is a
+// failed job, never a silently wrong answer. The optimized structure is
+// interned into the store for immediate follow-up scoring.
+func (s *Server) runOptimize(ctx context.Context, e *storedAIG, flow opt.Flow, seed int64) (any, error) {
+	og, err := harness.SafeFlow(ctx, flow, e.g, seed)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	if idx, eqErr := aig.Equivalent(e.g, og); eqErr != nil || idx >= 0 {
+		telemetry.Add("harness/equiv_failures", 1)
+		if eqErr == nil {
+			eqErr = fmt.Errorf("optimized AIG differs from input on output %d", idx)
+		}
+		return nil, eqErr
+	}
+	og = og.Cleanup()
+	oe, _ := s.store.put(og)
+	var b strings.Builder
+	if err := aiger.WriteASCII(&b, og); err != nil {
+		return nil, err
+	}
+	return OptimizeResult{
+		Fingerprint: e.fp,
+		Flow:        flow.Name,
+		Seed:        seed,
+		GatesBefore: e.stats.Ands, GatesAfter: og.NumAnds(),
+		LevelsBefore: e.stats.Levels, LevelsAfter: og.NumLevels(),
+		OptimizedFingerprint: oe.fp,
+		AIGER:                b.String(),
+	}, nil
+}
+
+// handleReport schedules a full ROD-style pair report: the pairwise
+// metrics plus, per requested flow, both optimized gate counts and the
+// Relative Optimizability Difference — the service equivalent of one
+// harness.PairSample.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	sp := telemetry.StartSpan("service/report")
+	defer sp.End()
+	if !s.jobsAdm.enter() {
+		shed(w)
+		return
+	}
+	var req reportRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.jobsAdm.leave()
+		replyError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	metrics, err := resolveMetrics(req.Metrics)
+	if err != nil {
+		s.jobsAdm.leave()
+		replyError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	flows, err := resolveFlows(req.Flows)
+	if err != nil {
+		s.jobsAdm.leave()
+		replyError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ea, eb, err := s.resolvePair(req.A, req.B)
+	if err != nil {
+		s.jobsAdm.leave()
+		replyError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	j, err := s.jobs.submit(s.baseCtx, s.pool, "report", func(ctx context.Context) (any, error) {
+		defer s.jobsAdm.leave()
+		return s.runReport(ctx, ea, eb, flows, metrics, req.Seed)
+	})
+	if err != nil {
+		s.jobsAdm.leave()
+		shed(w)
+		return
+	}
+	s.accept(w, j)
+}
+
+// runReport reuses the harness's pair-sample shape: RecipeA/RecipeB
+// carry the fingerprints, Metrics the pairwise scores, ROD the per-flow
+// Relative Optimizability Difference of Eq. 1.
+func (s *Server) runReport(ctx context.Context, ea, eb *storedAIG, flows []opt.Flow, metrics []simil.Metric, seed int64) (any, error) {
+	scores, err := s.pairScores(ea, eb, metrics)
+	if err != nil {
+		return nil, err
+	}
+	sample := harness.PairSample{
+		Spec:    "service",
+		RecipeA: ea.fp, RecipeB: eb.fp,
+		Metrics: scores,
+		ROD:     make(map[string]float64, len(flows)),
+		GatesA:  ea.stats.Ands, GatesB: eb.stats.Ands,
+	}
+	for _, flow := range flows {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		oa, err := harness.SafeFlow(ctx, flow, ea.g, seed)
+		if err != nil {
+			return nil, err
+		}
+		ob, err := harness.SafeFlow(ctx, flow, eb.g, seed)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		sample.ROD[flow.Name] = simil.ROD(oa.NumAnds(), ob.NumAnds())
+	}
+	return sample, nil
+}
+
+func resolveFlows(names []string) ([]opt.Flow, error) {
+	all := opt.Flows()
+	if len(names) == 0 {
+		return all, nil
+	}
+	var out []opt.Flow
+	for _, n := range names {
+		found := false
+		for _, f := range all {
+			if f.Name == n {
+				out = append(out, f)
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown flow %q (have %v)", n, flowNames())
+		}
+	}
+	return out, nil
+}
+
+func flowNames() []string {
+	all := opt.Flows()
+	names := make([]string, len(all))
+	for i, f := range all {
+		names[i] = f.Name
+	}
+	return names
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		replyError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	reply(w, http.StatusOK, v)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.jobs.cancelJob(r.PathValue("id"))
+	if !ok {
+		replyError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	reply(w, http.StatusOK, v)
+}

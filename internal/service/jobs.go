@@ -1,0 +1,257 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/harness"
+	"repro/internal/telemetry"
+)
+
+// JobStatus is the lifecycle state of an async job.
+type JobStatus string
+
+// Job lifecycle states. queued → running → done|failed; canceled can
+// be entered from queued or running.
+const (
+	JobQueued   JobStatus = "queued"
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobCanceled JobStatus = "canceled"
+)
+
+// JobView is the externally visible snapshot of a job, as served by the
+// poll endpoint.
+type JobView struct {
+	ID     string    `json:"id"`
+	Kind   string    `json:"kind"`
+	Status JobStatus `json:"status"`
+	Error  string    `json:"error,omitempty"`
+	// Result holds the job's output once Status is done. Results larger
+	// than the spill threshold are written to disk atomically and
+	// replaced by a SpillRef.
+	Result any `json:"result,omitempty"`
+}
+
+// SpillRef points at a job result spilled to disk.
+type SpillRef struct {
+	SpilledTo string `json:"spilled_to"`
+	Bytes     int    `json:"bytes"`
+}
+
+type job struct {
+	mu     sync.Mutex
+	view   JobView
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func (j *job) snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.view
+}
+
+// jobManager owns async job lifecycles: IDs, status transitions,
+// cancellation, panic isolation (via the harness guard machinery), the
+// on-disk spill of oversized results, and bounded retention of
+// completed jobs.
+type jobManager struct {
+	mu       sync.Mutex
+	jobs     map[string]*job
+	seq      int64
+	history  int
+	inflight sync.WaitGroup
+
+	spillDir   string
+	spillBytes int
+}
+
+func newJobManager(history int, spillDir string, spillBytes int) *jobManager {
+	return &jobManager{
+		jobs:       make(map[string]*job),
+		history:    history,
+		spillDir:   spillDir,
+		spillBytes: spillBytes,
+	}
+}
+
+// submit registers a job and schedules run on the pool. run executes
+// under ctx (canceled by DELETE /v1/jobs/{id} or server shutdown) with
+// panic isolation: a panicking job fails and is quarantined exactly
+// like a panicking harness variant, the daemon keeps serving.
+func (m *jobManager) submit(ctx context.Context, p *pool, kind string, run func(ctx context.Context) (any, error)) (*job, error) {
+	jctx, cancel := context.WithCancel(ctx)
+	m.mu.Lock()
+	m.seq++
+	id := fmt.Sprintf("j%06d", m.seq)
+	j := &job{
+		view:   JobView{ID: id, Kind: kind, Status: JobQueued},
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	m.jobs[id] = j
+	m.mu.Unlock()
+
+	m.inflight.Add(1)
+	ok := p.trySubmit(func() {
+		defer m.inflight.Done()
+		defer close(j.done)
+		defer m.prune()
+		if jctx.Err() != nil { // canceled while queued
+			m.finish(j, JobCanceled, nil, jctx.Err())
+			return
+		}
+		j.mu.Lock()
+		j.view.Status = JobRunning
+		j.mu.Unlock()
+		telemetry.Add("service/jobs_started", 1)
+
+		res, err := m.runGuarded(jctx, kind, run)
+		switch {
+		case err != nil && jctx.Err() != nil:
+			m.finish(j, JobCanceled, nil, err)
+		case err != nil:
+			m.finish(j, JobFailed, nil, err)
+		default:
+			m.finish(j, JobDone, res, nil)
+		}
+	})
+	if !ok {
+		m.inflight.Done()
+		cancel()
+		m.mu.Lock()
+		delete(m.jobs, id)
+		m.mu.Unlock()
+		return nil, errBusy
+	}
+	telemetry.Add("service/jobs_submitted", 1)
+	return j, nil
+}
+
+// runGuarded executes the job body with the harness panic guard: a
+// panic becomes an error (and a harness/panics_recovered count), never
+// a crashed daemon.
+func (m *jobManager) runGuarded(ctx context.Context, kind string, run func(ctx context.Context) (any, error)) (res any, err error) {
+	defer harness.Recover(&err, "service job "+kind)
+	return run(ctx)
+}
+
+func (m *jobManager) finish(j *job, status JobStatus, res any, err error) {
+	if res != nil && status == JobDone {
+		res = m.maybeSpill(j.snapshot().ID, res)
+	}
+	j.mu.Lock()
+	j.view.Status = status
+	j.view.Result = res
+	if err != nil {
+		j.view.Error = err.Error()
+	}
+	j.mu.Unlock()
+	switch status {
+	case JobDone:
+		telemetry.Add("service/jobs_done", 1)
+	case JobFailed:
+		telemetry.Add("service/jobs_failed", 1)
+	case JobCanceled:
+		telemetry.Add("service/jobs_canceled", 1)
+	}
+}
+
+// maybeSpill writes an oversized result to disk through the harness's
+// fsync-before-rename helper and returns a SpillRef in its place, so
+// the in-memory job table stays small under heavy result traffic and a
+// crash mid-spill can never leave a torn file.
+func (m *jobManager) maybeSpill(id string, res any) any {
+	if m.spillDir == "" {
+		return res
+	}
+	body, err := json.Marshal(res)
+	if err != nil || len(body) < m.spillBytes {
+		return res
+	}
+	path := filepath.Join(m.spillDir, "job-"+id+".json")
+	if err := harness.WriteFileAtomic(path, func(w io.Writer) error {
+		_, werr := w.Write(body)
+		return werr
+	}); err != nil {
+		// Spill failure is not job failure: serve the result in memory.
+		telemetry.Add("service/spill_errors", 1)
+		return res
+	}
+	telemetry.Add("service/spills", 1)
+	return SpillRef{SpilledTo: path, Bytes: len(body)}
+}
+
+// get returns a snapshot of the job.
+func (m *jobManager) get(id string) (JobView, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, false
+	}
+	return j.snapshot(), true
+}
+
+// cancelJob requests cancellation; the job transitions to canceled when
+// its body observes the context (or immediately if still queued).
+func (m *jobManager) cancelJob(id string) (JobView, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, false
+	}
+	j.cancel()
+	return j.snapshot(), true
+}
+
+// prune evicts the oldest finished jobs beyond the retention budget;
+// queued and running jobs are never evicted.
+func (m *jobManager) prune() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	type finished struct {
+		id   string
+		view JobView
+	}
+	var done []finished
+	for id, j := range m.jobs {
+		v := j.snapshot()
+		if v.Status == JobDone || v.Status == JobFailed || v.Status == JobCanceled {
+			done = append(done, finished{id, v})
+		}
+	}
+	if len(done) <= m.history {
+		return
+	}
+	// IDs are sequential, so lexicographic order (equal width) is age
+	// order: evict oldest first.
+	sort.Slice(done, func(i, k int) bool { return done[i].id < done[k].id })
+	for _, f := range done[:len(done)-m.history] {
+		delete(m.jobs, f.id)
+	}
+}
+
+// drainJobs waits until every queued or running job finishes, or ctx
+// expires.
+func (m *jobManager) drainJobs(ctx context.Context) error {
+	idle := make(chan struct{})
+	go func() {
+		m.inflight.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

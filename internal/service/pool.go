@@ -1,0 +1,99 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// errBusy is returned when the worker queue or an endpoint's admission
+// budget is full; the HTTP layer turns it into 429 + Retry-After.
+var errBusy = errors.New("service: saturated, retry later")
+
+// pool is the bounded worker pool every computation runs on: a fixed
+// number of workers fed by a bounded queue. Submissions never block —
+// when the queue is full the caller sheds load instead of collapsing.
+type pool struct {
+	tasks   chan func()
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+}
+
+func newPool(workers, depth int) *pool {
+	p := &pool{tasks: make(chan func(), depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for t := range p.tasks {
+				t()
+				telemetry.SetGauge("service/queue_depth", float64(len(p.tasks)))
+			}
+		}()
+	}
+	return p
+}
+
+// trySubmit enqueues t without blocking; false means the queue is full
+// or the pool is shut down.
+func (p *pool) trySubmit(t func()) bool {
+	if p.stopped.Load() {
+		return false
+	}
+	select {
+	case p.tasks <- t:
+		telemetry.SetGauge("service/queue_depth", float64(len(p.tasks)))
+		return true
+	default:
+		return false
+	}
+}
+
+// run executes f on the pool and waits for it (or for ctx). A full
+// queue returns errBusy immediately. On ctx expiry the task may still
+// execute later; the caller must not read f's results after an error.
+func (p *pool) run(ctx context.Context, f func()) error {
+	done := make(chan struct{})
+	if !p.trySubmit(func() { defer close(done); f() }) {
+		return errBusy
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// shutdown stops intake and waits for the workers to drain the queue.
+func (p *pool) shutdown() {
+	if p.stopped.CompareAndSwap(false, true) {
+		close(p.tasks)
+	}
+	p.wg.Wait()
+}
+
+// admission is one endpoint's queue-depth budget: a counter of requests
+// admitted but not yet finished. Exceeding the limit sheds the request
+// with 429 + Retry-After instead of letting latency collapse for
+// everyone — the bounded queue stays short enough that admitted
+// requests complete promptly.
+type admission struct {
+	limit   int64
+	pending atomic.Int64
+}
+
+// enter admits one request; callers must pair it with leave.
+func (a *admission) enter() bool {
+	if a.pending.Add(1) > a.limit {
+		a.pending.Add(-1)
+		telemetry.Add("service/shed", 1)
+		return false
+	}
+	return true
+}
+
+func (a *admission) leave() { a.pending.Add(-1) }

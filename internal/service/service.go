@@ -1,0 +1,160 @@
+// Package service implements aigd, the diversity-as-a-service daemon:
+// a long-running HTTP/JSON layer over the paper's similarity framework
+// that makes structural-diversity scoring cheap enough to sit in front
+// of every expensive optimization run.
+//
+// The subsystem is built from five pieces, each sized for sustained
+// traffic:
+//
+//   - a content-addressed AIG store keyed by canonical structural
+//     fingerprint (aig.Fingerprint), so an identical structure is
+//     parsed, validated, and profiled exactly once no matter how many
+//     clients submit it;
+//   - a sharded LRU result cache keyed (metric, fpA, fpB) whose hits
+//     are bit-identical to fresh computation, with singleflight
+//     deduplication of concurrent identical requests;
+//   - a bounded worker pool fed by a coalescing batch path: per-graph
+//     preprocessing (NetSimile features, WL labels, spectra, reduction
+//     vectors) is computed once per graph per batch, never once per
+//     pair;
+//   - an admission layer with per-endpoint queue-depth budgets that
+//     sheds load with 429 + Retry-After instead of collapsing;
+//   - an async job engine (optimization flows, full ROD-style pair
+//     reports) with IDs, polling, cancellation, panic isolation via
+//     the harness guard machinery, and atomic on-disk spill of large
+//     results.
+//
+// Everything is instrumented through internal/telemetry and served
+// alongside the existing /metrics and /debug endpoints; SIGTERM drains
+// in-flight jobs before exit.
+package service
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simil"
+)
+
+// Config sizes the daemon. The zero value is usable: every field has a
+// production default.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the worker pool's backlog (default 4×Workers).
+	QueueDepth int
+	// PendingMetrics and PendingJobs are the per-endpoint admission
+	// budgets: requests admitted but not yet finished (defaults
+	// 2×QueueDepth and QueueDepth).
+	PendingMetrics int
+	PendingJobs    int
+	// CacheEntries bounds the pairwise result cache (default 65536).
+	CacheEntries int
+	// StoreEntries bounds the content-addressed AIG store (default 4096).
+	StoreEntries int
+	// JobHistory bounds retained finished jobs (default 256).
+	JobHistory int
+	// SpillDir, when set, receives job results larger than SpillBytes
+	// as atomically written JSON files (default off; SpillBytes
+	// defaults to 256 KiB).
+	SpillDir   string
+	SpillBytes int
+	// Profile tunes per-graph artifact construction. The options are
+	// fixed per daemon because they are part of the cache-key contract:
+	// one (metric, fpA, fpB) key must always name one value. The
+	// per-graph Seed is ignored — the daemon derives it from the
+	// structural fingerprint so identical structures always profile
+	// identically.
+	Profile simil.ProfileOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.PendingMetrics <= 0 {
+		c.PendingMetrics = 2 * c.QueueDepth
+	}
+	if c.PendingJobs <= 0 {
+		c.PendingJobs = c.QueueDepth
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1 << 16
+	}
+	if c.StoreEntries <= 0 {
+		c.StoreEntries = 4096
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 256
+	}
+	if c.SpillBytes <= 0 {
+		c.SpillBytes = 256 << 10
+	}
+	return c
+}
+
+// Server is one running daemon instance. Create it with New, mount
+// Handler on an http.Server, and call Drain then Close on shutdown.
+type Server struct {
+	cfg   Config
+	store *store
+	cache *resultCache
+
+	flights    *flightGroup
+	pool       *pool
+	jobs       *jobManager
+	metricsAdm admission
+	jobsAdm    admission
+
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+	draining atomic.Bool
+
+	// testComputeDelay, when set by tests, runs inside the
+	// singleflighted metric computation to widen the race window.
+	testComputeDelay func()
+}
+
+// New builds a Server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		store:    newStore(cfg.StoreEntries),
+		cache:    newResultCache(cfg.CacheEntries),
+		flights:  newFlightGroup(),
+		pool:     newPool(cfg.Workers, cfg.QueueDepth),
+		jobs:     newJobManager(cfg.JobHistory, cfg.SpillDir, cfg.SpillBytes),
+		baseCtx:  ctx,
+		baseStop: stop,
+	}
+	s.metricsAdm.limit = int64(cfg.PendingMetrics)
+	s.jobsAdm.limit = int64(cfg.PendingJobs)
+	return s
+}
+
+// Drain puts the server into drain mode — every new request is refused
+// with 503 — and waits for in-flight jobs to complete, or for ctx to
+// expire, whichever comes first. It is the SIGTERM path: submitted
+// work finishes, nothing new is admitted.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.jobs.drainJobs(ctx)
+}
+
+// Close cancels whatever Drain left running and stops the worker pool.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.baseStop()
+	s.pool.shutdown()
+}
+
+// DrainTimeoutDefault is the default SIGTERM drain budget used by
+// cmd/aigd.
+const DrainTimeoutDefault = 30 * time.Second

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/aig"
+	"repro/internal/simil"
+	"repro/internal/telemetry"
+)
+
+// storedAIG is one content-addressed store entry: the parsed, validated
+// AIG plus its lazily built similarity profile. The profile is guarded
+// by its own mutex, which doubles as the per-graph coalescing point:
+// concurrent requests needing the same graph's artifacts line up behind
+// one build instead of each computing their own.
+type storedAIG struct {
+	fp    string
+	g     *aig.AIG
+	stats aig.Stats
+
+	profMu  sync.Mutex
+	profile *simil.Profile
+}
+
+// store is the content-addressed AIG store: structures are keyed by
+// canonical fingerprint, so a resubmitted identical structure is
+// parsed, validated, and profiled exactly once. Bounded by an LRU so
+// heavy traffic cannot grow memory without limit.
+type store struct {
+	mu    sync.Mutex
+	byFP  map[string]*list.Element
+	order *list.List // front = most recently used
+	cap   int
+}
+
+func newStore(capacity int) *store {
+	return &store{byFP: make(map[string]*list.Element), order: list.New(), cap: capacity}
+}
+
+// put interns g (already validated by the caller) under its
+// fingerprint. It returns the canonical entry and whether the structure
+// was already known.
+func (s *store) put(g *aig.AIG) (*storedAIG, bool) {
+	fp := g.Fingerprint()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byFP[fp]; ok {
+		s.order.MoveToFront(el)
+		telemetry.Add("service/store_hits", 1)
+		return el.Value.(*storedAIG), true
+	}
+	e := &storedAIG{fp: fp, g: g, stats: g.Stat()}
+	s.byFP[fp] = s.order.PushFront(e)
+	telemetry.Add("service/store_adds", 1)
+	for s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.byFP, oldest.Value.(*storedAIG).fp)
+		telemetry.Add("service/store_evictions", 1)
+	}
+	return e, false
+}
+
+// get returns the entry for a fingerprint, bumping its recency.
+func (s *store) get(fp string) (*storedAIG, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byFP[fp]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*storedAIG), true
+}
+
+func (s *store) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}

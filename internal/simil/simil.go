@@ -17,6 +17,25 @@ import (
 	"repro/internal/telemetry"
 )
 
+// Artifacts is a bitmask of the per-graph artifact families a Profile
+// can carry. Splitting the families apart lets batch consumers (the
+// aigd service, the harness's O(n²) pair loop) compute exactly the
+// per-graph work the requested metrics need — once per graph, never
+// once per pair.
+type Artifacts uint32
+
+// The artifact families, one per independent precomputation.
+const (
+	NeedOverlap   Artifacts = 1 << iota // vertex/edge sets (VEO)
+	NeedNetSimile                       // 35-dim NetSimile signature
+	NeedWL                              // Weisfeiler-Lehman histogram
+	NeedSpectrum                        // top-k adjacency eigenvalues (ASD)
+	NeedOptScores                       // single-step reduction vector (Eq. 3/4)
+
+	// AllArtifacts requests every family.
+	AllArtifacts = NeedOverlap | NeedNetSimile | NeedWL | NeedSpectrum | NeedOptScores
+)
+
 // Profile holds per-AIG precomputations so that pairwise metric
 // evaluation over many pairs stays cheap: each artifact is computed once
 // per AIG, not once per pair.
@@ -24,6 +43,9 @@ type Profile struct {
 	A      *aig.AIG
 	Gates  int
 	Levels int
+
+	// has records which artifact families were computed.
+	has Artifacts
 
 	// Traditional-metric artifacts over the undirected skeleton.
 	vertices map[int]bool
@@ -70,49 +92,103 @@ func (o ProfileOptions) wlIterations() int {
 // construction runs under the "profile/total" telemetry span, with each
 // artifact family timed by a nested child span.
 func NewProfile(a *aig.AIG, opts ProfileOptions) *Profile {
+	return NewProfileFor(a, opts, AllArtifacts)
+}
+
+// NewProfileFor computes exactly the artifact families in needs (plus
+// the always-cheap gate and level counts). Batch consumers that know
+// which metrics a request asks for pass Needs(metrics) to skip the
+// unneeded per-graph work entirely — the single-step optimization runs
+// dominate profile cost, so a request for the traditional metrics only
+// never pays for them. opts.SkipOptScores additionally masks
+// NeedOptScores for compatibility with existing callers.
+func NewProfileFor(a *aig.AIG, opts ProfileOptions, needs Artifacts) *Profile {
 	total := telemetry.StartSpan("profile/total")
 	defer total.End()
 
+	if opts.SkipOptScores {
+		needs &^= NeedOptScores
+	}
 	p := &Profile{A: a, Gates: a.NumAnds(), Levels: a.NumLevels()}
-	und := graph.FromAIG(a)
+	p.add(a, opts, needs)
+	return p
+}
 
-	// Vertex and edge sets under the consistent node numbering.
-	sp := total.StartSpan("overlap")
-	p.vertices = make(map[int]bool)
-	p.edges = make(map[[2]int]bool)
-	for id := 1; id < a.NumObjs(); id++ {
-		p.vertices[id] = true
+// add computes the artifact families in needs that p does not yet hold,
+// in place. The caller must ensure p was built from the same AIG and
+// options; the service's profile cache uses it to upgrade a cached
+// partial profile instead of recomputing families it already has.
+func (p *Profile) add(a *aig.AIG, opts ProfileOptions, needs Artifacts) {
+	needs &^= p.has
+	if needs == 0 {
+		return
 	}
-	for _, e := range und.Edges() {
-		p.edges[e] = true
+	var und *graph.Graph
+	if needs&(NeedOverlap|NeedNetSimile|NeedWL|NeedSpectrum) != 0 {
+		und = graph.FromAIG(a)
 	}
-	sp.End()
 
-	// NetSimile signature.
-	sp = total.StartSpan("netsimile")
-	feats := und.NetSimileFeatures()
-	for fi := 0; fi < 7; fi++ {
-		agg := stats.Aggregate(feats[fi][1:]) // node 0 (constant) excluded
-		copy(p.features[fi*5:fi*5+5], agg[:])
+	if needs&NeedOverlap != 0 {
+		// Vertex and edge sets under the consistent node numbering.
+		sp := telemetry.StartSpan("profile/overlap")
+		p.vertices = make(map[int]bool)
+		p.edges = make(map[[2]int]bool)
+		for id := 1; id < a.NumObjs(); id++ {
+			p.vertices[id] = true
+		}
+		for _, e := range und.Edges() {
+			p.edges[e] = true
+		}
+		sp.End()
 	}
-	sp.End()
 
-	// Weisfeiler-Lehman label histogram.
-	sp = total.StartSpan("wl")
-	p.wlHist = wlHistogram(und, opts.wlIterations())
-	sp.End()
+	if needs&NeedNetSimile != 0 {
+		// NetSimile signature.
+		sp := telemetry.StartSpan("profile/netsimile")
+		feats := und.NetSimileFeatures()
+		for fi := 0; fi < 7; fi++ {
+			agg := stats.Aggregate(feats[fi][1:]) // node 0 (constant) excluded
+			copy(p.features[fi*5:fi*5+5], agg[:])
+		}
+		sp.End()
+	}
 
-	// Adjacency spectrum.
-	sp = total.StartSpan("spectrum")
-	p.spectrum = und.TopEigenvalues(opts.spectrumK(), opts.Seed+1)
-	sp.End()
+	if needs&NeedWL != 0 {
+		// Weisfeiler-Lehman label histogram.
+		sp := telemetry.StartSpan("profile/wl")
+		p.wlHist = wlHistogram(und, opts.wlIterations())
+		sp.End()
+	}
 
-	if !opts.SkipOptScores {
-		sp = total.StartSpan("optscores")
+	if needs&NeedSpectrum != 0 {
+		// Adjacency spectrum.
+		sp := telemetry.StartSpan("profile/spectrum")
+		p.spectrum = und.TopEigenvalues(opts.spectrumK(), opts.Seed+1)
+		sp.End()
+	}
+
+	if needs&NeedOptScores != 0 {
+		sp := telemetry.StartSpan("profile/optscores")
 		p.reductions = OptReductions(a)
 		sp.End()
 	}
-	return p
+	p.has |= needs
+}
+
+// Has reports the artifact families this profile carries.
+func (p *Profile) Has() Artifacts { return p.has }
+
+// Extend computes, in place, any artifact families in needs that the
+// profile does not yet carry, using the profile's own AIG. Callers that
+// cache profiles (the aigd service) use it to upgrade a cached partial
+// profile instead of rebuilding families it already has. Pass the same
+// ProfileOptions the profile was built with: options are part of the
+// artifact definition, and mixing them would silently mix metrics.
+func (p *Profile) Extend(opts ProfileOptions, needs Artifacts) {
+	if opts.SkipOptScores {
+		needs &^= NeedOptScores
+	}
+	p.add(p.A, opts, needs)
 }
 
 // OptReductions computes the single-step reduction ratios
@@ -329,7 +405,20 @@ type Metric struct {
 	// kernel grow with similarity, the others with difference. The paper
 	// reports correlation strength regardless of sign.
 	HigherIsSimilar bool
-	Compute         func(p1, p2 *Profile) float64
+	// Needs lists the profile artifact families the metric reads; both
+	// sides of a Compute call must carry at least these.
+	Needs   Artifacts
+	Compute func(p1, p2 *Profile) float64
+}
+
+// Needs returns the union of the artifact families the given metrics
+// read — what a batch consumer must precompute per graph.
+func Needs(metrics []Metric) Artifacts {
+	var n Artifacts
+	for _, m := range metrics {
+		n |= m.Needs
+	}
+	return n
 }
 
 // Metrics returns all eleven pairwise measures in the paper's order
@@ -338,16 +427,16 @@ type Metric struct {
 // "metric/<name>".
 func Metrics() []Metric {
 	ms := []Metric{
-		{"VEO", Traditional, true, VEO},
-		{"NetSimile", Traditional, false, NetSimile},
-		{"WLKernel", Traditional, true, WLKernel},
-		{"ASD", Traditional, false, ASD},
-		{"RGC", AIGSpecific, false, RGC},
-		{"RLC", AIGSpecific, false, RLC},
-		{"RewriteScore", AIGSpecific, false, RewriteScore},
-		{"RefactorScore", AIGSpecific, false, RefactorScore},
-		{"ResubScore", AIGSpecific, false, ResubScore},
-		{"RRRScore", AIGSpecific, false, RRRScore},
+		{"VEO", Traditional, true, NeedOverlap, VEO},
+		{"NetSimile", Traditional, false, NeedNetSimile, NetSimile},
+		{"WLKernel", Traditional, true, NeedWL, WLKernel},
+		{"ASD", Traditional, false, NeedSpectrum, ASD},
+		{"RGC", AIGSpecific, false, 0, RGC},
+		{"RLC", AIGSpecific, false, 0, RLC},
+		{"RewriteScore", AIGSpecific, false, NeedOptScores, RewriteScore},
+		{"RefactorScore", AIGSpecific, false, NeedOptScores, RefactorScore},
+		{"ResubScore", AIGSpecific, false, NeedOptScores, ResubScore},
+		{"RRRScore", AIGSpecific, false, NeedOptScores, RRRScore},
 	}
 	for i := range ms {
 		name, compute := ms[i].Name, ms[i].Compute

@@ -217,3 +217,76 @@ func TestProfileDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestProfileArtifactsStaged: a profile grown incrementally through
+// NewProfileFor + Extend must score bit-identically to one built with
+// everything up front — the invariant the service result cache rests
+// on.
+func TestProfileArtifactsStaged(t *testing.T) {
+	r := rand.New(rand.NewSource(151))
+	spec := []tt.TT{tt.Random(6, r), tt.Random(6, r)}
+	g1, g2 := synth.SynthSOP(spec), synth.SynthBDD(spec)
+	opts := ProfileOptions{Seed: 9}
+
+	full1, full2 := NewProfile(g1, opts), NewProfile(g2, opts)
+	part1 := NewProfileFor(g1, opts, NeedOverlap)
+	part2 := NewProfileFor(g2, opts, NeedOverlap)
+	if got := part1.Has(); got != NeedOverlap {
+		t.Fatalf("partial profile has %b, want only overlap", got)
+	}
+	part1.Extend(opts, NeedWL|NeedSpectrum)
+	if got := part1.Has(); got != NeedOverlap|NeedWL|NeedSpectrum {
+		t.Fatalf("extended profile has %b", got)
+	}
+	part1.Extend(opts, AllArtifacts)
+	part2.Extend(opts, AllArtifacts)
+	if part1.Has() != AllArtifacts || part2.Has() != AllArtifacts {
+		t.Fatalf("extended profiles have %b and %b, want all", part1.Has(), part2.Has())
+	}
+	for _, m := range Metrics() {
+		if staged, fresh := m.Compute(part1, part2), m.Compute(full1, full2); staged != fresh {
+			t.Errorf("%s: staged profile scores %v, full profile %v", m.Name, staged, fresh)
+		}
+	}
+}
+
+// TestNeedsUnion: the per-metric artifact declarations must union
+// correctly and cover exactly what the metric families require.
+func TestNeedsUnion(t *testing.T) {
+	byName := func(names ...string) []Metric {
+		out := make([]Metric, len(names))
+		for i, n := range names {
+			m, ok := MetricByName(n)
+			if !ok {
+				t.Fatalf("unknown metric %q", n)
+			}
+			out[i] = m
+		}
+		return out
+	}
+	if got := Needs(byName("RGC", "RLC")); got != 0 {
+		t.Errorf("Needs(RGC,RLC) = %b, want 0 (stats only)", got)
+	}
+	if got := Needs(byName("VEO", "ASD")); got != NeedOverlap|NeedSpectrum {
+		t.Errorf("Needs(VEO,ASD) = %b", got)
+	}
+	if got := Needs(Metrics()); got != AllArtifacts {
+		t.Errorf("Needs(all) = %b, want AllArtifacts", got)
+	}
+}
+
+// TestExtendRespectsSkipOptScores: Extend must keep honouring the
+// profile-level opt-score gate.
+func TestExtendRespectsSkipOptScores(t *testing.T) {
+	r := rand.New(rand.NewSource(153))
+	g := synth.SynthSOP([]tt.TT{tt.Random(5, r)})
+	opts := ProfileOptions{SkipOptScores: true}
+	p := NewProfileFor(g, opts, AllArtifacts)
+	if p.Has()&NeedOptScores != 0 {
+		t.Error("SkipOptScores profile still computed opt scores")
+	}
+	p.Extend(opts, NeedOptScores)
+	if p.Has()&NeedOptScores != 0 {
+		t.Error("Extend ignored SkipOptScores")
+	}
+}

@@ -24,6 +24,19 @@ import (
 //
 // Two functionally equivalent but structurally different AIGs hash
 // differently on purpose: the diversity metrics score structure.
+//
+// Caveat for consumers interning by fingerprint: the hash is
+// node-numbering-independent, but some derived artifacts are not —
+// the vertex/edge overlap sets behind VEO are keyed by raw node ids,
+// so two identically-structured AIGs with different topological
+// numberings produce different overlap sets while sharing one
+// fingerprint (Cleanup compacts ids but preserves the input's
+// relative order, so it does not canonicalize numbering either).
+// A content-addressed store therefore computes numbering-sensitive
+// artifacts on whichever representative was interned first; that is
+// sound only because such artifacts are consumed pairwise against
+// other stored representatives under the same rule, never compared
+// against an externally numbered copy of the graph.
 func (g *AIG) Fingerprint() string {
 	const hashLen = sha256.Size
 	hashes := make([][hashLen]byte, g.NumObjs())

@@ -20,6 +20,13 @@ import (
 // magnitude above anything the framework's workloads produce).
 const maxAIGERBody = 16 << 20
 
+// maxBatchAIGs bounds one all-pairs batch request. The batch loop is
+// O(n²) in pairs, so an unbounded list would let a single small JSON
+// body pin a pool worker for an arbitrarily long time; larger
+// populations should be split into multiple batches (the result cache
+// makes the overlap free).
+const maxBatchAIGs = 64
+
 // --- wire types --------------------------------------------------------
 
 // AIGView describes one stored AIG.
@@ -188,7 +195,12 @@ func (s *Server) handleSubmitAIG(w http.ResponseWriter, r *http.Request) {
 		replyError(w, http.StatusBadRequest, "invalid AIG: %v", err)
 		return
 	}
-	e, known := s.store.put(g)
+	// Intern the PO-reachable cone only. The fingerprint deliberately
+	// ignores dangling nodes, so two submissions differing only in dead
+	// cones collide on one key; without Cleanup the stored stats and
+	// profiles would depend on whichever structure arrived first, which
+	// would break the hit-equals-fresh-computation invariant.
+	e, known := s.store.put(g.Cleanup())
 	reply(w, http.StatusOK, viewOf(e, known))
 }
 
@@ -286,6 +298,10 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 		replyError(w, http.StatusBadRequest, "batch needs at least 2 AIGs, got %d", len(req.AIGs))
 		return
 	}
+	if len(req.AIGs) > maxBatchAIGs {
+		replyError(w, http.StatusBadRequest, "batch of %d AIGs exceeds the limit of %d; split it into smaller batches", len(req.AIGs), maxBatchAIGs)
+		return
+	}
 	metrics, err := resolveMetrics(req.Metrics)
 	if err != nil {
 		replyError(w, http.StatusBadRequest, "%v", err)
@@ -301,12 +317,16 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 		entries[i] = e
 	}
 	resp := batchResponse{AIGs: req.AIGs}
+	ctx := r.Context()
 	var serr error
-	err = s.pool.run(r.Context(), func() {
+	err = s.pool.run(ctx, func() {
 		// Coalesce the batch's per-graph work up front: one profile per
 		// graph covering the union of artifact needs.
 		needs := simil.Needs(metrics)
 		for _, e := range entries {
+			if serr = ctx.Err(); serr != nil { // client gone: free the worker
+				return
+			}
 			if _, perr := s.profileFor(e, needs); perr != nil {
 				serr = perr
 				return
@@ -314,6 +334,9 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		for i := 0; i < len(entries); i++ {
 			for j := i + 1; j < len(entries); j++ {
+				if serr = ctx.Err(); serr != nil {
+					return
+				}
 				scores, perr := s.pairScores(entries[i], entries[j], metrics)
 				if perr != nil {
 					serr = perr
@@ -328,6 +351,10 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if serr != nil {
+		if ctx.Err() != nil {
+			s.replyPoolError(w, r, serr)
+			return
+		}
 		replyError(w, http.StatusInternalServerError, "%v", serr)
 		return
 	}
@@ -384,10 +411,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		replyError(w, http.StatusNotFound, "unknown fingerprint %q (submit it via POST /v1/aigs first)", req.AIG)
 		return
 	}
+	// The admission slot is released by the job engine when the pool
+	// task exits — on every path, including cancellation while still
+	// queued (where the run closure never executes).
 	j, err := s.jobs.submit(s.baseCtx, s.pool, "optimize", func(ctx context.Context) (any, error) {
-		defer s.jobsAdm.leave()
 		return s.runOptimize(ctx, e, flow, req.Seed)
-	})
+	}, s.jobsAdm.leave)
 	if err != nil {
 		s.jobsAdm.leave()
 		shed(w)
@@ -474,9 +503,8 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := s.jobs.submit(s.baseCtx, s.pool, "report", func(ctx context.Context) (any, error) {
-		defer s.jobsAdm.leave()
 		return s.runReport(ctx, ea, eb, flows, metrics, req.Seed)
-	})
+	}, s.jobsAdm.leave)
 	if err != nil {
 		s.jobsAdm.leave()
 		shed(w)

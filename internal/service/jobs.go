@@ -86,7 +86,14 @@ func newJobManager(history int, spillDir string, spillBytes int) *jobManager {
 // under ctx (canceled by DELETE /v1/jobs/{id} or server shutdown) with
 // panic isolation: a panicking job fails and is quarantined exactly
 // like a panicking harness variant, the daemon keeps serving.
-func (m *jobManager) submit(ctx context.Context, p *pool, kind string, run func(ctx context.Context) (any, error)) (*job, error) {
+//
+// onExit, when non-nil, runs exactly once when the pool task exits —
+// on every path, including cancellation while still queued and panics —
+// so callers can tie resources (e.g. an admission slot) to the job's
+// lifetime rather than to run executing. When submit returns an error
+// the task was never scheduled and onExit is NOT called; the caller
+// still owns its resources.
+func (m *jobManager) submit(ctx context.Context, p *pool, kind string, run func(ctx context.Context) (any, error), onExit func()) (*job, error) {
 	jctx, cancel := context.WithCancel(ctx)
 	m.mu.Lock()
 	m.seq++
@@ -104,6 +111,13 @@ func (m *jobManager) submit(ctx context.Context, p *pool, kind string, run func(
 		defer m.inflight.Done()
 		defer close(j.done)
 		defer m.prune()
+		if onExit != nil {
+			defer onExit()
+		}
+		// Detach jctx from the long-lived base context once the job is
+		// over; otherwise every finished job would stay registered on
+		// baseCtx for the daemon's lifetime.
+		defer cancel()
 		if jctx.Err() != nil { // canceled while queued
 			m.finish(j, JobCanceled, nil, jctx.Err())
 			return

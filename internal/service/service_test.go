@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/aig"
 	"repro/internal/aiger"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
@@ -170,6 +171,71 @@ func TestContentAddressedStore(t *testing.T) {
 	}
 	if got := d.counter("service/store_hits") - hits0; got != 1 {
 		t.Errorf("store_hits delta = %d, want 1", got)
+	}
+}
+
+// TestSubmitInternsReachableCone: the fingerprint ignores dangling
+// cones, so the store must too — submitting a graph with dead nodes and
+// then its cleaned-up twin must intern one entry whose stats describe
+// the PO-reachable cone, regardless of which arrived first.
+func TestSubmitInternsReachableCone(t *testing.T) {
+	d := newTestDaemon(t, Config{})
+
+	dirty := aig.New(2)
+	a, b := dirty.PI(0), dirty.PI(1)
+	dirty.AddPO(dirty.And(a, b))
+	dirty.And(a, b.Not()) // dangling AND, never referenced by a PO
+	clean := dirty.Cleanup()
+	if dirty.NumAnds() != 2 || clean.NumAnds() != 1 {
+		t.Fatalf("bad fixture: dirty has %d ANDs, clean has %d", dirty.NumAnds(), clean.NumAnds())
+	}
+
+	encode := func(g *aig.AIG) string {
+		var buf bytes.Buffer
+		if err := aiger.WriteASCII(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	first := d.submit(t, encode(dirty))
+	if first.Known {
+		t.Error("first submission reported known=true")
+	}
+	if first.Ands != clean.NumAnds() {
+		t.Errorf("dirty submission interned with Ands=%d, want reachable cone's %d", first.Ands, clean.NumAnds())
+	}
+	second := d.submit(t, encode(clean))
+	if first.Fingerprint != second.Fingerprint {
+		t.Errorf("fingerprints diverge: %s vs %s", first.Fingerprint, second.Fingerprint)
+	}
+	if !second.Known {
+		t.Error("clean twin was not a store hit")
+	}
+	if second.Ands != clean.NumAnds() {
+		t.Errorf("served stats Ands=%d, want %d", second.Ands, clean.NumAnds())
+	}
+}
+
+// TestBatchCap: a batch referencing more AIGs than the per-request
+// limit must be rejected with 400 before it reaches a pool worker.
+func TestBatchCap(t *testing.T) {
+	d := newTestDaemon(t, Config{})
+	fpA := d.submit(t, testAIG(t, 30)).Fingerprint
+	fpB := d.submit(t, testAIG(t, 31)).Fingerprint
+
+	refs := make([]string, maxBatchAIGs+1)
+	refs[0] = fmt.Sprintf("%q", fpB)
+	for i := 1; i < len(refs); i++ {
+		refs[i] = fmt.Sprintf("%q", fpA)
+	}
+	body := fmt.Sprintf(`{"aigs":[%s],"metrics":["RGC"]}`, strings.Join(refs, ","))
+	var out map[string]any
+	if code := d.do(t, "POST", "/v1/metrics/batch", body, &out); code != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d (%v), want 400", code, out)
+	}
+	if got := d.counter("service/metric_computes"); got != 0 {
+		t.Errorf("oversized batch still computed %d metrics", got)
 	}
 }
 
@@ -465,6 +531,57 @@ func TestJobCancel(t *testing.T) {
 	}
 	if v := d.waitJob(t, blocker.ID); v.Status != JobDone {
 		t.Errorf("blocker job = %+v, want done", v)
+	}
+}
+
+// TestQueuedCancelReleasesAdmission: canceling a job that never left
+// the queue must still give back its admission slot once the worker
+// pops it — a canceled queued job must not permanently shrink the
+// PendingJobs budget.
+func TestQueuedCancelReleasesAdmission(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 1, QueueDepth: 4, PendingJobs: 2})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	releaseOnce := sync.OnceFunc(func() { close(release) })
+	defer releaseOnce()
+	var once sync.Once
+	d.svc.testComputeDelay = func() {
+		once.Do(func() { close(started) })
+		<-release
+	}
+
+	fpA := d.submit(t, testAIG(t, 27)).Fingerprint
+	fpB := d.submit(t, testAIG(t, 28)).Fingerprint
+	body := fmt.Sprintf(`{"a":%q,"b":%q,"metrics":["VEO"],"flows":["dc2"]}`, fpA, fpB)
+
+	var blocker, victim jobAccepted
+	if code := d.do(t, "POST", "/v1/report", body, &blocker); code != http.StatusAccepted {
+		t.Fatalf("submitting blocker: status %d", code)
+	}
+	<-started // blocker owns the only worker, victim will sit queued
+	if code := d.do(t, "POST", "/v1/report", body, &victim); code != http.StatusAccepted {
+		t.Fatalf("submitting victim: status %d", code)
+	}
+	// Both PendingJobs slots are now held: the next submission sheds.
+	if code := d.do(t, "POST", "/v1/report", body, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("over-budget submission: status %d, want 429", code)
+	}
+	if code := d.do(t, "DELETE", "/v1/jobs/"+victim.ID, "", nil); code != http.StatusOK {
+		t.Fatalf("canceling victim: status %d", code)
+	}
+	releaseOnce()
+	if v := d.waitJob(t, victim.ID); v.Status != JobCanceled {
+		t.Fatalf("victim = %+v, want canceled", v)
+	}
+	if v := d.waitJob(t, blocker.ID); v.Status != JobDone {
+		t.Fatalf("blocker = %+v, want done", v)
+	}
+	// Both slots must be free again: a fresh job is admitted, not shed.
+	var next jobAccepted
+	if code := d.do(t, "POST", "/v1/report", body, &next); code != http.StatusAccepted {
+		t.Errorf("post-cancel submission: status %d, want 202 (admission slot leaked)", code)
+	} else if v := d.waitJob(t, next.ID); v.Status != JobDone {
+		t.Errorf("post-cancel job = %+v, want done", v)
 	}
 }
 

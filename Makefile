@@ -7,7 +7,7 @@
 # suite (checkpoint/resume byte-identity, panic quarantine, equivalence
 # guards) in internal/harness.
 
-.PHONY: tier1 tier2 lint bench fuzz serve
+.PHONY: tier1 tier2 lint bench fuzz chaos serve
 
 tier1:
 	go build ./... && go test ./...
@@ -34,6 +34,16 @@ FUZZTIME ?= 10s
 
 fuzz:
 	go test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/aiger
+	go test -run '^$$' -fuzz '^FuzzHandlers$$' -fuzztime $(FUZZTIME) ./internal/service
+
+# chaos runs the deterministic fault-injection suite under the race
+# detector: the faultinject registry's own tests plus every TestChaos*
+# scenario (atomic-write fault matrix, torn-checkpoint resume
+# byte-identity, spill degradation, restart recovery sweeps, idempotent
+# retry accounting). See README "Fault injection & chaos testing".
+chaos:
+	go test -race ./internal/faultinject ./internal/service/client
+	go test -race -run '^TestChaos' ./internal/harness ./internal/service
 
 # bench runs every benchmark once; the pipeline benchmarks report a
 # telemetry-derived per-stage breakdown (synthesis/profiling/

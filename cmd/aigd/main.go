@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
@@ -42,7 +43,17 @@ func run() int {
 	spillDir := flag.String("spill-dir", "", "directory for oversized job results (empty = keep in memory)")
 	spillThreshold := flag.Int("spill-threshold", 0, "spill job results larger than this many bytes (0 = 256 KiB)")
 	drainTimeout := flag.Duration("drain-timeout", service.DrainTimeoutDefault, "how long to wait for in-flight jobs on shutdown")
+	faults := flag.String("faults", os.Getenv(faultinject.EnvVar), "fault-injection spec (chaos testing; see internal/faultinject)")
 	flag.Parse()
+
+	if *faults != "" {
+		if err := faultinject.ArmFromSpec(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, "aigd: bad -faults spec:", err)
+			return 2
+		}
+		faultinject.Enable()
+		fmt.Fprintf(os.Stderr, "aigd: fault injection armed: %s\n", *faults)
+	}
 
 	reg := telemetry.Enable()
 	svc := service.New(service.Config{

@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/harness"
 	"repro/internal/telemetry"
 )
@@ -64,6 +65,12 @@ func main() {
 		selfcheck   = flag.Bool("selfcheck", false, "run the AIG structural verifier after every synthesis recipe and optimization flow")
 	)
 	flag.Parse()
+
+	// Chaos runs set AIG_FAULTS to replay a deterministic failure
+	// schedule; a malformed spec is a hard error, not a silent no-op.
+	if err := faultinject.EnableFromEnv(); err != nil {
+		fatal(err)
+	}
 
 	if *figure == 2 {
 		out, err := harness.Figure2("fulladder", *seed)

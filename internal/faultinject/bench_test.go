@@ -1,0 +1,63 @@
+package faultinject
+
+import "testing"
+
+// The disabled-path acceptance benchmark: Hit with the registry off
+// must cost a single atomic load over the bare-call baseline. The
+// committed numbers live in BENCH_faultinject.txt at the repo root.
+
+//go:noinline
+func baseline(string) error { return nil }
+
+// BenchmarkBaselineCall is the "before" shape: a durability boundary
+// with no injection point — one no-op call.
+func BenchmarkBaselineCall(b *testing.B) {
+	Reset()
+	for i := 0; i < b.N; i++ {
+		if err := baseline("harness/atomic_sync"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHitDisabled is the "after" shape: the same boundary with an
+// injection point, registry disabled (the production state).
+func BenchmarkHitDisabled(b *testing.B) {
+	Reset()
+	for i := 0; i < b.N; i++ {
+		if err := Hit("harness/atomic_sync"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHitEnabledUnarmed bounds the cost of running chaos suites:
+// registry on, this point not armed (mutex + map lookup).
+func BenchmarkHitEnabledUnarmed(b *testing.B) {
+	Reset()
+	Enable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Hit("harness/atomic_sync"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	Reset()
+}
+
+// BenchmarkHitEnabledArmedMiss: armed point whose trigger does not
+// fire (the steady state of an OnCall(N) schedule before N).
+func BenchmarkHitEnabledArmedMiss(b *testing.B) {
+	Reset()
+	Arm("harness/atomic_sync", OnCall(1<<62), Fault{Mode: ModeError})
+	Enable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Hit("harness/atomic_sync"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	Reset()
+}

@@ -1,0 +1,154 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EnvVar names the environment variable both daemons and the batch
+// harness consult at startup: a non-empty value is parsed as a fault
+// spec (see ArmFromSpec), armed, and enabled. Because every trigger is
+// deterministic, exporting the same AIG_FAULTS value replays the same
+// failure schedule.
+const EnvVar = "AIG_FAULTS"
+
+// ArmFromSpec arms every entry of a fault spec. The grammar, entries
+// separated by ';':
+//
+//	entry   = point "=" mode [ "@" trigger ]
+//	mode    = "error" | "enospc" | "fsync" | "deadline"
+//	        | "short" [ ":" keepBytes ] | "torn" [ ":" keepBytes ]
+//	        | "latency" ":" duration
+//	trigger = "always" | N | N "+" | "p" FLOAT "/" SEED
+//
+// Examples:
+//
+//	harness/atomic_sync=fsync@3          fsync error on the 3rd write
+//	harness/checkpoint_write=torn:7@2    tear the 2nd append after 7 bytes
+//	service/spill=enospc@p0.25/42        ENOSPC with p=0.25, seed 42
+//	service/store_put=latency:50ms       stall every store insert 50ms
+//
+// The default trigger is "always". ArmFromSpec only arms; callers
+// decide when to Enable.
+func ArmFromSpec(spec string) error {
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(entry, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" || rest == "" {
+			return fmt.Errorf("faultinject: bad entry %q: want point=mode[@trigger]", entry)
+		}
+		modeSpec, trigSpec, _ := strings.Cut(rest, "@")
+		fault, err := parseMode(modeSpec)
+		if err != nil {
+			return fmt.Errorf("faultinject: entry %q: %w", entry, err)
+		}
+		trig, err := parseTrigger(trigSpec)
+		if err != nil {
+			return fmt.Errorf("faultinject: entry %q: %w", entry, err)
+		}
+		Arm(name, trig, fault)
+	}
+	return nil
+}
+
+func parseMode(s string) (Fault, error) {
+	kind, arg, hasArg := strings.Cut(strings.TrimSpace(s), ":")
+	var f Fault
+	switch kind {
+	case "error":
+		f.Mode = ModeError
+	case "enospc":
+		f.Mode = ModeENOSPC
+	case "fsync":
+		f.Mode = ModeFsync
+	case "deadline":
+		f.Mode = ModeDeadline
+	case "short", "torn":
+		f.Mode = ModeShortWrite
+		if kind == "torn" {
+			f.Mode = ModeTornWrite
+		}
+		if hasArg {
+			keep, err := strconv.Atoi(arg)
+			if err != nil || keep < 0 {
+				return f, fmt.Errorf("bad keep-bytes %q", arg)
+			}
+			f.KeepBytes = keep
+		}
+		return f, nil
+	case "latency":
+		f.Mode = ModeLatency
+		if !hasArg {
+			return f, fmt.Errorf("latency needs a duration (latency:50ms)")
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return f, fmt.Errorf("bad latency %q: %v", arg, err)
+		}
+		f.Latency = d
+		return f, nil
+	default:
+		return f, fmt.Errorf("unknown mode %q", kind)
+	}
+	if hasArg {
+		return f, fmt.Errorf("mode %q takes no argument", kind)
+	}
+	return f, nil
+}
+
+func parseTrigger(s string) (Trigger, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "" || s == "always":
+		return Always(), nil
+	case strings.HasPrefix(s, "p"):
+		probSpec, seedSpec, ok := strings.Cut(s[1:], "/")
+		if !ok {
+			return Trigger{}, fmt.Errorf("probability trigger %q needs an explicit seed (p0.25/42) so the schedule replays", s)
+		}
+		p, err := strconv.ParseFloat(probSpec, 64)
+		if err != nil || p <= 0 || p > 1 {
+			return Trigger{}, fmt.Errorf("bad probability %q", probSpec)
+		}
+		seed, err := strconv.ParseInt(seedSpec, 10, 64)
+		if err != nil {
+			return Trigger{}, fmt.Errorf("bad seed %q", seedSpec)
+		}
+		return Probability(p, seed), nil
+	case strings.HasSuffix(s, "+"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(s, "+"), 10, 64)
+		if err != nil || n == 0 {
+			return Trigger{}, fmt.Errorf("bad trigger %q", s)
+		}
+		return FromCall(n), nil
+	default:
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil || n == 0 {
+			return Trigger{}, fmt.Errorf("bad trigger %q (want always, N, N+, or pFLOAT/SEED)", s)
+		}
+		return OnCall(n), nil
+	}
+}
+
+// EnableFromEnv arms and enables the registry from the AIG_FAULTS
+// environment variable. An unset or empty variable is a no-op; a
+// malformed spec is an error (a chaos run with a typo must fail loudly,
+// not run fault-free).
+func EnableFromEnv() error {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return nil
+	}
+	if err := ArmFromSpec(spec); err != nil {
+		return err
+	}
+	Enable()
+	return nil
+}

@@ -5,7 +5,28 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
 )
+
+// Fault-injection points on the atomic-replace path, one per step that
+// can fail independently (see the chaos suite in chaos_test.go for the
+// invariant each guards: whatever fires, the final path only ever
+// holds the old complete file or the new complete file).
+const (
+	PointAtomicCreate = "harness/atomic_create"
+	PointAtomicWrite  = "harness/atomic_write"
+	PointAtomicSync   = "harness/atomic_sync"
+	PointAtomicRename = "harness/atomic_rename"
+)
+
+// atomicTempMark tags WriteFileAtomic's temp files so a startup sweep
+// (SweepAtomicTemps) can recognize — and quarantine — orphans left by
+// a crash between create and rename. The mark is unusual enough that
+// no results artifact collides with it.
+const atomicTempMark = ".atomictmp-"
 
 // WriteFileAtomic replaces path with content produced by write, with
 // crash-safety on every step: the content goes to a temp file in the
@@ -18,7 +39,10 @@ import (
 // file.
 func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err := faultinject.Hit(PointAtomicCreate); err != nil {
+		return fmt.Errorf("creating temp for %s: %w", path, err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+atomicTempMark+"*")
 	if err != nil {
 		return err
 	}
@@ -28,14 +52,20 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 			_ = os.Remove(tmp.Name())
 		}
 	}()
-	if err := write(tmp); err != nil {
+	if err := write(faultinject.WrapWriter(PointAtomicWrite, tmp)); err != nil {
 		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := faultinject.Hit(PointAtomicSync); err != nil {
+		return fmt.Errorf("syncing %s: %w", path, err)
 	}
 	if err := tmp.Sync(); err != nil {
 		return fmt.Errorf("syncing %s: %w", path, err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	if err := faultinject.Hit(PointAtomicRename); err != nil {
+		return fmt.Errorf("renaming over %s: %w", path, err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return err
@@ -48,4 +78,33 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 		_ = d.Close()
 	}
 	return nil
+}
+
+// SweepAtomicTemps quarantines orphaned WriteFileAtomic temp files in
+// dir: a crash (or kill) between create and rename leaves a
+// "*.atomictmp-*" file that no process will ever rename, so startup
+// recovery removes it. Completed files never carry the mark, so the
+// sweep cannot touch real artifacts. It returns how many orphans were
+// removed; removal failures are counted and the first is returned
+// after the sweep finishes the remaining entries.
+func SweepAtomicTemps(dir string) (removed int, err error) {
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		return 0, rerr
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.Contains(e.Name(), atomicTempMark) {
+			continue
+		}
+		if rmErr := os.Remove(filepath.Join(dir, e.Name())); rmErr != nil {
+			telemetry.Add("harness/orphan_sweep_errors", 1)
+			if err == nil {
+				err = rmErr
+			}
+			continue
+		}
+		removed++
+	}
+	telemetry.Add("harness/orphan_temps_swept", int64(removed))
+	return removed, err
 }

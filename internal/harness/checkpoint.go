@@ -17,6 +17,18 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
+
+	"repro/internal/faultinject"
+)
+
+// Fault-injection points on the checkpoint append path. A fault at
+// either one aborts the run with the record possibly torn on disk —
+// exactly the state a kill or power cut leaves — and the chaos suite
+// asserts that resume from that state stays byte-identical to an
+// uninterrupted run (the torn tail is dropped and recomputed).
+const (
+	PointCheckpointWrite = "harness/checkpoint_write"
+	PointCheckpointSync  = "harness/checkpoint_sync"
 )
 
 // SpecRecord is one checkpointed spec: everything Run derives from a
@@ -75,6 +87,13 @@ type Checkpointer struct {
 	w *bufio.Writer
 }
 
+// newCheckpointer wraps f's write path with the checkpoint fault
+// point; this is the single construction site, so an armed schedule
+// covers fresh and resumed checkpoints alike.
+func newCheckpointer(f *os.File) *Checkpointer {
+	return &Checkpointer{f: f, w: bufio.NewWriter(faultinject.WrapWriter(PointCheckpointWrite, f))}
+}
+
 // OpenCheckpoint prepares path for checkpointing under cfg. With resume
 // false (or no existing file to resume) it truncates the file and
 // writes a fresh header. With resume true it validates the header
@@ -98,7 +117,7 @@ func OpenCheckpoint(path string, cfg Config, resume bool) (*Checkpointer, []Spec
 				_ = f.Close()
 				return nil, nil, err
 			}
-			return &Checkpointer{f: f, w: bufio.NewWriter(f)}, records, nil
+			return newCheckpointer(f), records, nil
 		case errors.Is(err, os.ErrNotExist):
 			// Nothing to resume: start a fresh checkpoint below.
 		default:
@@ -113,7 +132,7 @@ func OpenCheckpoint(path string, cfg Config, resume bool) (*Checkpointer, []Spec
 	if err != nil {
 		return nil, nil, err
 	}
-	c := &Checkpointer{f: f, w: bufio.NewWriter(f)}
+	c := newCheckpointer(f)
 	if err := c.append(checkpointHeader{Format: checkpointFormat, Fingerprint: fp, Seed: cfg.Seed}); err != nil {
 		_ = f.Close()
 		return nil, nil, fmt.Errorf("harness: writing checkpoint header: %w", err)
@@ -173,6 +192,9 @@ func LoadCheckpoint(path string, cfg Config) ([]SpecRecord, int64, error) {
 func (c *Checkpointer) Append(rec SpecRecord) error {
 	if err := c.append(rec); err != nil {
 		return fmt.Errorf("harness: appending checkpoint record for %s: %w", rec.Spec, err)
+	}
+	if err := faultinject.Hit(PointCheckpointSync); err != nil {
+		return fmt.Errorf("harness: syncing checkpoint record for %s: %w", rec.Spec, err)
 	}
 	if err := c.f.Sync(); err != nil {
 		return fmt.Errorf("harness: syncing checkpoint record for %s: %w", rec.Spec, err)

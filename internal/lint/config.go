@@ -25,6 +25,16 @@ type Config struct {
 	// MetricNamePattern validates constant metric names. Segments are
 	// snake_case, separated by '/'.
 	MetricNamePattern string
+
+	// FaultPointFuncs lists qualified callables whose string argument
+	// (by index) names a fault-injection point. Names must be compile-
+	// time constants matching FaultPointPattern, and each name must be
+	// instrumented at exactly one call site program-wide; the defining
+	// package's own pass-through calls are exempt.
+	FaultPointFuncs map[string]int
+
+	// FaultPointPattern validates constant fault point names.
+	FaultPointPattern string
 }
 
 // DefaultConfig returns the repository's production lint configuration.
@@ -65,5 +75,11 @@ func DefaultConfig() *Config {
 			"(repro/internal/telemetry.Span).StartSpan":      0,
 		},
 		MetricNamePattern: `^[a-z][a-z0-9_]*(/[a-z][a-z0-9_]*)*$`,
+		FaultPointFuncs: map[string]int{
+			"repro/internal/faultinject.Hit":        0,
+			"repro/internal/faultinject.Delay":      0,
+			"repro/internal/faultinject.WrapWriter": 0,
+		},
+		FaultPointPattern: `^[a-z][a-z0-9_]*(/[a-z][a-z0-9_]*)*$`,
 	}
 }

@@ -194,7 +194,7 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer, cfg *Config) (*Result, e
 
 // Analyzers returns every registered analyzer in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RawLitAnalyzer, DeterminismAnalyzer, DroppedErrAnalyzer, MetricNameAnalyzer, HTTPWriteAnalyzer}
+	return []*Analyzer{RawLitAnalyzer, DeterminismAnalyzer, DroppedErrAnalyzer, MetricNameAnalyzer, HTTPWriteAnalyzer, FaultPointAnalyzer}
 }
 
 // AnalyzerByName returns a registered analyzer, or nil.

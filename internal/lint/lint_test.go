@@ -81,6 +81,10 @@ func TestHTTPWriteGolden(t *testing.T) {
 	golden(t, "httpwrite", HTTPWriteAnalyzer, nil)
 }
 
+func TestFaultPointGolden(t *testing.T) {
+	golden(t, "faultpoint", FaultPointAnalyzer, nil)
+}
+
 func TestDeterminismGolden(t *testing.T) {
 	golden(t, "determinism", DeterminismAnalyzer, func(prog *Program) *Config {
 		cfg := DefaultConfig()

@@ -5,8 +5,16 @@ import (
 	"hash/fnv"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/telemetry"
 )
+
+// PointCacheGet is the fault-injection point on result-cache lookup: a
+// firing schedule forces a miss, driving traffic down the singleflight
+// + recompute path. Because a hit is bit-identical to fresh
+// computation by construction, a forced miss must never change an
+// answer — the chaos suite asserts exactly that.
+const PointCacheGet = "service/cache_get"
 
 // resultCache is a sharded in-memory LRU of pairwise metric scores
 // keyed "(metric, fpA, fpB)" with the fingerprints in sorted order
@@ -50,6 +58,10 @@ func (c *resultCache) shard(key string) *cacheShard {
 }
 
 func (c *resultCache) get(key string) (float64, bool) {
+	if err := faultinject.Hit(PointCacheGet); err != nil {
+		telemetry.Add("service/cache_misses", 1)
+		return 0, false
+	}
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,96 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned (wrapped) when a request is refused
+// locally because the endpoint's circuit breaker is open: the daemon
+// has failed enough consecutive calls that hammering it further would
+// only deepen the outage. The caller sees the failure immediately —
+// no connection, no backoff wait — and can try again after the
+// cooldown.
+var ErrBreakerOpen = errors.New("circuit breaker open")
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-endpoint circuit breaker.
+//
+//	closed    — requests flow; consecutive failures are counted.
+//	open      — every request is refused until the cooldown elapses.
+//	half-open — exactly one probe request is allowed through; its
+//	            outcome decides between closed (success) and another
+//	            full open cooldown (failure).
+//
+// The breaker only counts *service* failures (transport errors, 429,
+// 503). A 400 or 404 proves the daemon is alive and is recorded as a
+// success.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// allow reports whether a request may proceed. In half-open state only
+// one in-flight probe is admitted; every allowed caller MUST call
+// report with the outcome.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return ErrBreakerOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// report records the outcome of an allowed request.
+func (b *breaker) report(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.state = breakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: back to a full cooldown.
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	default:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/aig"
@@ -129,9 +130,34 @@ func replyError(w http.ResponseWriter, code int, format string, args ...any) {
 // shed refuses a request from a saturated endpoint: 429 plus a
 // Retry-After hint so well-behaved clients back off instead of
 // hammering.
-func shed(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", "1")
+func (s *Server) shed(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	replyError(w, http.StatusTooManyRequests, "saturated, retry later")
+}
+
+// retryAfterSeconds scales the shed hint with the actual state of the
+// daemon instead of a constant: an idle daemon says "1", one with a
+// deep backlog tells clients to stay away for roughly the number of
+// queue "waves" its workers still have to absorb, and a draining
+// daemon points past its drain budget (new work will not be admitted
+// until a fresh process is up). Capped so a pathological backlog never
+// tells clients to disappear for minutes.
+func (s *Server) retryAfterSeconds() int {
+	const capSeconds = 30
+	if s.draining.Load() {
+		return capSeconds
+	}
+	workers := s.pool.workers
+	if workers < 1 {
+		workers = 1
+	}
+	pendingJobs := int(s.jobsAdm.pending.Load())
+	backlog := s.pool.backlog() + pendingJobs
+	hint := 1 + backlog/workers
+	if hint > capSeconds {
+		hint = capSeconds
+	}
+	return hint
 }
 
 func decodeJSON(r *http.Request, v any) error {
@@ -162,6 +188,7 @@ func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
 		telemetry.Add("service/requests", 1)
 		if s.draining.Load() {
 			w.Header().Set("Connection", "close")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			replyError(w, http.StatusServiceUnavailable, "draining")
 			return
 		}
@@ -242,7 +269,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sp := telemetry.StartSpan("service/metrics")
 	defer sp.End()
 	if !s.metricsAdm.enter() {
-		shed(w)
+		s.shed(w)
 		return
 	}
 	defer s.metricsAdm.leave()
@@ -284,7 +311,7 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 	sp := telemetry.StartSpan("service/metrics_batch")
 	defer sp.End()
 	if !s.metricsAdm.enter() {
-		shed(w)
+		s.shed(w)
 		return
 	}
 	defer s.metricsAdm.leave()
@@ -366,7 +393,7 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 // 499-style semantics (the client is gone; any status is unread).
 func (s *Server) replyPoolError(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, errBusy) {
-		shed(w)
+		s.shed(w)
 		return
 	}
 	if r.Context().Err() != nil {
@@ -381,7 +408,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	sp := telemetry.StartSpan("service/optimize")
 	defer sp.End()
 	if !s.jobsAdm.enter() {
-		shed(w)
+		s.shed(w)
 		return
 	}
 	var req optimizeRequest
@@ -413,16 +440,29 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	// The admission slot is released by the job engine when the pool
 	// task exits — on every path, including cancellation while still
-	// queued (where the run closure never executes).
-	j, err := s.jobs.submit(s.baseCtx, s.pool, "optimize", func(ctx context.Context) (any, error) {
+	// queued (where the run closure never executes). A deduplicated
+	// retry never schedules anything, so this request's slot is handed
+	// straight back: the original submission's slot already covers the
+	// job.
+	j, dup, err := s.jobs.submit(s.baseCtx, s.pool, "optimize", idempotencyKey(r), func(ctx context.Context) (any, error) {
 		return s.runOptimize(ctx, e, flow, req.Seed)
 	}, s.jobsAdm.leave)
 	if err != nil {
 		s.jobsAdm.leave()
-		shed(w)
+		s.shed(w)
 		return
 	}
+	if dup {
+		s.jobsAdm.leave()
+	}
 	s.accept(w, j)
+}
+
+// idempotencyKey extracts the client's Idempotency-Key header for job
+// submission dedup. Empty means "not idempotent": every submit is a
+// new job.
+func idempotencyKey(r *http.Request) string {
+	return r.Header.Get("Idempotency-Key")
 }
 
 func (s *Server) accept(w http.ResponseWriter, j *job) {
@@ -475,7 +515,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	sp := telemetry.StartSpan("service/report")
 	defer sp.End()
 	if !s.jobsAdm.enter() {
-		shed(w)
+		s.shed(w)
 		return
 	}
 	var req reportRequest
@@ -502,13 +542,16 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		replyError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	j, err := s.jobs.submit(s.baseCtx, s.pool, "report", func(ctx context.Context) (any, error) {
+	j, dup, err := s.jobs.submit(s.baseCtx, s.pool, "report", idempotencyKey(r), func(ctx context.Context) (any, error) {
 		return s.runReport(ctx, ea, eb, flows, metrics, req.Seed)
 	}, s.jobsAdm.leave)
 	if err != nil {
 		s.jobsAdm.leave()
-		shed(w)
+		s.shed(w)
 		return
+	}
+	if dup {
+		s.jobsAdm.leave()
 	}
 	s.accept(w, j)
 }

@@ -9,9 +9,16 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/harness"
 	"repro/internal/telemetry"
 )
+
+// PointSpill is the fault-injection point on the job-result spill
+// path, in front of the atomic write. Spill failure is never job
+// failure: the result stays in memory and the spill_errors counter
+// records the degradation.
+const PointSpill = "service/spill"
 
 // JobStatus is the lifecycle state of an async job.
 type JobStatus string
@@ -46,6 +53,11 @@ type SpillRef struct {
 }
 
 type job struct {
+	// idemKey is the Idempotency-Key the job was submitted under ("" if
+	// none). Immutable after creation; the manager uses it to clear the
+	// dedup entry when the job is pruned.
+	idemKey string
+
 	mu     sync.Mutex
 	view   JobView
 	cancel context.CancelFunc
@@ -65,6 +77,7 @@ func (j *job) snapshot() JobView {
 type jobManager struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
+	idem     map[string]*job // Idempotency-Key → job, while the job is retained
 	seq      int64
 	history  int
 	inflight sync.WaitGroup
@@ -76,6 +89,7 @@ type jobManager struct {
 func newJobManager(history int, spillDir string, spillBytes int) *jobManager {
 	return &jobManager{
 		jobs:       make(map[string]*job),
+		idem:       make(map[string]*job),
 		history:    history,
 		spillDir:   spillDir,
 		spillBytes: spillBytes,
@@ -87,23 +101,44 @@ func newJobManager(history int, spillDir string, spillBytes int) *jobManager {
 // panic isolation: a panicking job fails and is quarantined exactly
 // like a panicking harness variant, the daemon keeps serving.
 //
+// idemKey, when non-empty, deduplicates retried submissions: a second
+// submit carrying the key of a still-retained job returns that job
+// with dup=true instead of scheduling anything, so a client retrying
+// into a half-dead daemon can neither double-spend an admission slot
+// nor create a duplicate job. The dedup entry lives exactly as long as
+// the job (cleared on prune and on failed scheduling), and the
+// existing-job check is atomic with registration, so concurrent
+// retries collapse onto one job too.
+//
 // onExit, when non-nil, runs exactly once when the pool task exits —
 // on every path, including cancellation while still queued and panics —
 // so callers can tie resources (e.g. an admission slot) to the job's
 // lifetime rather than to run executing. When submit returns an error
-// the task was never scheduled and onExit is NOT called; the caller
-// still owns its resources.
-func (m *jobManager) submit(ctx context.Context, p *pool, kind string, run func(ctx context.Context) (any, error), onExit func()) (*job, error) {
+// or dup=true the task was never scheduled and onExit is NOT called;
+// the caller still owns its resources.
+func (m *jobManager) submit(ctx context.Context, p *pool, kind, idemKey string, run func(ctx context.Context) (any, error), onExit func()) (j *job, dup bool, err error) {
 	jctx, cancel := context.WithCancel(ctx)
 	m.mu.Lock()
+	if idemKey != "" {
+		if prior, ok := m.idem[idemKey]; ok {
+			m.mu.Unlock()
+			cancel()
+			telemetry.Add("service/idempotent_replays", 1)
+			return prior, true, nil
+		}
+	}
 	m.seq++
 	id := fmt.Sprintf("j%06d", m.seq)
-	j := &job{
-		view:   JobView{ID: id, Kind: kind, Status: JobQueued},
-		cancel: cancel,
-		done:   make(chan struct{}),
+	j = &job{
+		idemKey: idemKey,
+		view:    JobView{ID: id, Kind: kind, Status: JobQueued},
+		cancel:  cancel,
+		done:    make(chan struct{}),
 	}
 	m.jobs[id] = j
+	if idemKey != "" {
+		m.idem[idemKey] = j
+	}
 	m.mu.Unlock()
 
 	m.inflight.Add(1)
@@ -142,11 +177,14 @@ func (m *jobManager) submit(ctx context.Context, p *pool, kind string, run func(
 		cancel()
 		m.mu.Lock()
 		delete(m.jobs, id)
+		if idemKey != "" {
+			delete(m.idem, idemKey)
+		}
 		m.mu.Unlock()
-		return nil, errBusy
+		return nil, false, errBusy
 	}
 	telemetry.Add("service/jobs_submitted", 1)
-	return j, nil
+	return j, false, nil
 }
 
 // runGuarded executes the job body with the harness panic guard: a
@@ -188,6 +226,10 @@ func (m *jobManager) maybeSpill(id string, res any) any {
 	}
 	body, err := json.Marshal(res)
 	if err != nil || len(body) < m.spillBytes {
+		return res
+	}
+	if err := faultinject.Hit(PointSpill); err != nil {
+		telemetry.Add("service/spill_errors", 1)
 		return res
 	}
 	path := filepath.Join(m.spillDir, "job-"+id+".json")
@@ -247,9 +289,14 @@ func (m *jobManager) prune() {
 		return
 	}
 	// IDs are sequential, so lexicographic order (equal width) is age
-	// order: evict oldest first.
+	// order: evict oldest first. An evicted job's idempotency entry goes
+	// with it — a replayed key after eviction legitimately submits a
+	// fresh job (and spends a fresh admission slot).
 	sort.Slice(done, func(i, k int) bool { return done[i].id < done[k].id })
 	for _, f := range done[:len(done)-m.history] {
+		if key := m.jobs[f.id].idemKey; key != "" {
+			delete(m.idem, key)
+		}
 		delete(m.jobs, f.id)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/telemetry"
 )
 
@@ -13,17 +14,24 @@ import (
 // budget is full; the HTTP layer turns it into 429 + Retry-After.
 var errBusy = errors.New("service: saturated, retry later")
 
+// PointPoolSubmit is the fault-injection point on pool intake: a
+// firing schedule forces the shed path (errBusy → 429 + Retry-After)
+// exactly as a genuinely full queue would, which is how the chaos
+// suite saturates a daemon deterministically.
+const PointPoolSubmit = "service/pool_submit"
+
 // pool is the bounded worker pool every computation runs on: a fixed
 // number of workers fed by a bounded queue. Submissions never block —
 // when the queue is full the caller sheds load instead of collapsing.
 type pool struct {
 	tasks   chan func()
+	workers int
 	wg      sync.WaitGroup
 	stopped atomic.Bool
 }
 
 func newPool(workers, depth int) *pool {
-	p := &pool{tasks: make(chan func(), depth)}
+	p := &pool{tasks: make(chan func(), depth), workers: workers}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
@@ -41,6 +49,9 @@ func newPool(workers, depth int) *pool {
 // or the pool is shut down.
 func (p *pool) trySubmit(t func()) bool {
 	if p.stopped.Load() {
+		return false
+	}
+	if err := faultinject.Hit(PointPoolSubmit); err != nil {
 		return false
 	}
 	select {
@@ -67,6 +78,10 @@ func (p *pool) run(ctx context.Context, f func()) error {
 		return ctx.Err()
 	}
 }
+
+// backlog reports how many queued tasks no worker has picked up yet;
+// the shed path scales its Retry-After hint with it.
+func (p *pool) backlog() int { return len(p.tasks) }
 
 // shutdown stops intake and waits for the workers to drain the queue.
 func (p *pool) shutdown() {

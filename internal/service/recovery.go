@@ -1,0 +1,61 @@
+package service
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/telemetry"
+)
+
+// RecoverSpillDir is the daemon's startup crash-recovery sweep over
+// its spill directory. A previous life that died uncleanly can leave
+// two kinds of artifact behind:
+//
+//   - atomicfile temp files ("*.atomictmp-*"): a crash landed between
+//     create and rename, so the file is a possibly-torn orphan no
+//     process will ever complete — quarantined by harness.SweepAtomicTemps;
+//   - stale spill files ("job-*.json"): their jobs lived only in the
+//     dead process's memory, so no poll can ever reference them again —
+//     removed so the directory cannot grow without bound across
+//     restarts.
+//
+// Both sweeps are counted (service/orphan_temps_swept,
+// service/orphan_spills_swept) so operators can see crash debris in
+// the metrics instead of discovering it on a full disk. The directory
+// is created if missing — a daemon pointed at a fresh -spill-dir must
+// not fail its first spill. Sweep errors degrade the sweep, never the
+// daemon: the first is returned for logging and counted.
+func RecoverSpillDir(spillDir string) (temps, spills int, err error) {
+	if mkErr := os.MkdirAll(spillDir, 0o755); mkErr != nil {
+		telemetry.Add("service/recovery_errors", 1)
+		return 0, 0, mkErr
+	}
+	temps, err = harness.SweepAtomicTemps(spillDir)
+	entries, rerr := os.ReadDir(spillDir)
+	if rerr != nil {
+		telemetry.Add("service/recovery_errors", 1)
+		if err == nil {
+			err = rerr
+		}
+		return temps, 0, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "job-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if rmErr := os.Remove(filepath.Join(spillDir, name)); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+			telemetry.Add("service/recovery_errors", 1)
+			if err == nil {
+				err = rmErr
+			}
+			continue
+		}
+		spills++
+	}
+	telemetry.Add("service/orphan_spills_swept", int64(spills))
+	return temps, spills, err
+}

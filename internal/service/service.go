@@ -120,9 +120,18 @@ type Server struct {
 	testComputeDelay func()
 }
 
-// New builds a Server from cfg (zero value = defaults).
+// New builds a Server from cfg (zero value = defaults). When a spill
+// directory is configured, New first runs the crash-recovery sweep
+// over it (see RecoverSpillDir): orphaned atomic-write temps and stale
+// spill files from a previous daemon life are quarantined before any
+// new spill can collide with them.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.SpillDir != "" {
+		// Sweep failure is not startup failure: the daemon still serves,
+		// the recovery_errors counter records the degradation.
+		_, _, _ = RecoverSpillDir(cfg.SpillDir)
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,

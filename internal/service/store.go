@@ -5,9 +5,17 @@ import (
 	"sync"
 
 	"repro/internal/aig"
+	"repro/internal/faultinject"
 	"repro/internal/simil"
 	"repro/internal/telemetry"
 )
+
+// PointStorePut is the fault-injection point on store interning. The
+// store is in-memory and cannot fail, so only latency faults take
+// effect here — they widen race windows between concurrent submits of
+// identical structures, the interleaving the content-addressing tests
+// hunt.
+const PointStorePut = "service/store_put"
 
 // storedAIG is one content-addressed store entry: the parsed, validated
 // AIG plus its lazily built similarity profile. The profile is guarded
@@ -42,6 +50,7 @@ func newStore(capacity int) *store {
 // fingerprint. It returns the canonical entry and whether the structure
 // was already known.
 func (s *store) put(g *aig.AIG) (*storedAIG, bool) {
+	faultinject.Delay(PointStorePut)
 	fp := g.Fingerprint()
 	s.mu.Lock()
 	defer s.mu.Unlock()

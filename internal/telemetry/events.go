@@ -5,7 +5,14 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/internal/faultinject"
 )
+
+// PointEventWrite is the fault-injection point on the event-log write
+// path: an injected write failure (disk full, torn line) must surface
+// through Err at end of run, never corrupt the pipeline itself.
+const PointEventWrite = "telemetry/event_write"
 
 // EventLogger writes structured pipeline events as JSONL: one JSON
 // object per line with "ts" (RFC3339Nano) and "event" keys plus the
@@ -27,7 +34,7 @@ func NewEventLogger(w io.Writer) *EventLogger {
 	if w == nil {
 		return nil
 	}
-	return &EventLogger{w: w}
+	return &EventLogger{w: faultinject.WrapWriter(PointEventWrite, w)}
 }
 
 // Log emits one event line. Field keys "ts" and "event" are reserved

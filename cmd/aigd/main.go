@@ -6,12 +6,17 @@
 //
 //	aigd [-addr :8347] [-workers N] [-queue-depth N] [-cache-entries N]
 //	     [-store-entries N] [-spill-dir DIR] [-spill-threshold BYTES]
-//	     [-drain-timeout DUR]
+//	     [-drain-timeout DUR] [-events FILE] [-trace] [-trace-entries N]
+//	     [-trace-slow N] [-trace-sample RATE] [-slo DUR]
 //
 // The API is mounted alongside the telemetry endpoints (/metrics,
-// /debug/vars, /debug/pprof). On SIGTERM or SIGINT the daemon stops
-// admitting work, drains in-flight jobs for up to -drain-timeout, then
-// exits.
+// /debug/vars, /debug/pprof). -trace turns on end-to-end request
+// tracing: every request runs under a W3C traceparent-propagated trace,
+// retained traces are served on /v1/debug/traces, and per-endpoint RED
+// metrics (with -slo breach counters) appear on /metrics. -events
+// appends the structured JSONL access/event log to FILE. On SIGTERM or
+// SIGINT the daemon stops admitting work, drains in-flight jobs for up
+// to -drain-timeout, then exits.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/service"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 func main() {
@@ -44,6 +50,12 @@ func run() int {
 	spillThreshold := flag.Int("spill-threshold", 0, "spill job results larger than this many bytes (0 = 256 KiB)")
 	drainTimeout := flag.Duration("drain-timeout", service.DrainTimeoutDefault, "how long to wait for in-flight jobs on shutdown")
 	faults := flag.String("faults", os.Getenv(faultinject.EnvVar), "fault-injection spec (chaos testing; see internal/faultinject)")
+	events := flag.String("events", "", "append structured JSONL access/event log to this file")
+	traceOn := flag.Bool("trace", false, "enable end-to-end request tracing (/v1/debug/traces)")
+	traceEntries := flag.Int("trace-entries", 0, "retained trace capacity (0 = 2048)")
+	traceSlow := flag.Int("trace-slow", 0, "always keep the N slowest traces (0 = 64)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of unremarkable traces to keep (0 = 0.1)")
+	slo := flag.Duration("slo", 0, "per-endpoint latency SLO for RED breach counters (0 = 500ms)")
 	flag.Parse()
 
 	if *faults != "" {
@@ -56,6 +68,30 @@ func run() int {
 	}
 
 	reg := telemetry.Enable()
+
+	var tstore *trace.Store
+	if *traceOn {
+		tstore = trace.NewStore(trace.StoreConfig{
+			Capacity:   *traceEntries,
+			SlowKeep:   *traceSlow,
+			SampleRate: *traceSample,
+		})
+		trace.SetCollector(tstore)
+		fmt.Fprintln(os.Stderr, "aigd: request tracing enabled")
+	}
+
+	var evlog *telemetry.EventLogger
+	var evfile *os.File
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigd: opening -events file:", err)
+			return 1
+		}
+		evfile = f
+		evlog = telemetry.NewEventLogger(f)
+	}
+
 	svc := service.New(service.Config{
 		Workers:      *workers,
 		QueueDepth:   *queueDepth,
@@ -63,6 +99,9 @@ func run() int {
 		StoreEntries: *storeEntries,
 		SpillDir:     *spillDir,
 		SpillBytes:   *spillThreshold,
+		Trace:        tstore,
+		Events:       evlog,
+		SLOTarget:    *slo,
 	})
 
 	mux := http.NewServeMux()
@@ -100,6 +139,22 @@ func run() int {
 		_ = srv.Close()
 	}
 	svc.Close()
+	if evfile != nil {
+		// A torn or failed event-log write is a degraded run, not a
+		// silent one: surface it in the exit status.
+		code := 0
+		if err := evlog.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "aigd: event log degraded:", err)
+			code = 1
+		}
+		if err := evfile.Close(); err != nil && code == 0 {
+			fmt.Fprintln(os.Stderr, "aigd: closing event log:", err)
+			code = 1
+		}
+		if code != 0 {
+			return code
+		}
+	}
 	fmt.Fprintln(os.Stderr, "aigd: bye")
 	return 0
 }

@@ -35,6 +35,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/harness"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 func main() {
@@ -63,6 +65,7 @@ func main() {
 		resume      = flag.Bool("resume", false, "replay the -checkpoint file and continue from the first missing spec")
 		flowTimeout = flag.Duration("flow-timeout", 0, "wall-clock budget per flow invocation (0 = unbounded)")
 		selfcheck   = flag.Bool("selfcheck", false, "run the AIG structural verifier after every synthesis recipe and optimization flow")
+		traceTop    = flag.Int("trace-top", 0, "trace the run and print flame graphs of the N slowest variants to stderr")
 	)
 	flag.Parse()
 
@@ -87,6 +90,13 @@ func main() {
 	var reg *telemetry.Registry
 	if *metricsAddr != "" || *eventsPath != "" {
 		reg = telemetry.Enable()
+	}
+	// Each harness variant starts its own trace (no run-level root), so
+	// -trace-top ranks variants — the unit a slow run decomposes into.
+	var tstore *trace.Store
+	if *traceTop > 0 {
+		tstore = trace.NewStore(trace.StoreConfig{SlowKeep: *traceTop})
+		trace.SetCollector(tstore)
 	}
 	if *metricsAddr != "" {
 		srv, err := telemetry.Serve(*metricsAddr)
@@ -179,6 +189,9 @@ func main() {
 	if fs := res.FailureSummary(); fs != "" {
 		fmt.Fprint(os.Stderr, fs)
 	}
+	if tstore != nil {
+		printSlowTraces(tstore, *traceTop)
+	}
 
 	switch {
 	case *byCat != "":
@@ -214,6 +227,21 @@ func main() {
 		}
 		if err := eventsFile.Close(); err != nil {
 			fatal(fmt.Errorf("closing events file %s: %w", *eventsPath, err))
+		}
+	}
+}
+
+// printSlowTraces renders the n slowest retained traces as flame text.
+func printSlowTraces(st *trace.Store, n int) {
+	sums := st.List(trace.Filter{})
+	sort.Slice(sums, func(i, j int) bool { return sums[i].DurationMS > sums[j].DurationMS })
+	if len(sums) > n {
+		sums = sums[:n]
+	}
+	fmt.Fprintf(os.Stderr, "\n--- %d slowest traces ---\n", len(sums))
+	for _, s := range sums {
+		if f, ok := st.Flame(s.TraceID); ok {
+			fmt.Fprintln(os.Stderr, f)
 		}
 	}
 }

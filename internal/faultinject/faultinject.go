@@ -230,6 +230,22 @@ func lookup(name string) *point {
 	return points[name]
 }
 
+// fireHook, when set, observes every firing at a context-aware site
+// (HitCtx): request-tracing registers one so chaos runs can attribute
+// each injected fault to the request it hit. Stored atomically so the
+// disabled path stays lock-free.
+var fireHook atomic.Pointer[func(ctx context.Context, name string, m Mode)]
+
+// SetFireHook installs fn as the firing observer (nil removes it).
+// fn must be fast and must not traverse injection points itself.
+func SetFireHook(fn func(ctx context.Context, name string, m Mode)) {
+	if fn == nil {
+		fireHook.Store(nil)
+		return
+	}
+	fireHook.Store(&fn)
+}
+
 // Err is the root of every injected failure: errors.Is(err, Err)
 // distinguishes an injected fault from a real one.
 var Err = fmt.Errorf("injected fault")
@@ -258,6 +274,22 @@ func Hit(name string) error {
 }
 
 func hitSlow(name string) error {
+	return hitSlowCtx(context.Background(), name)
+}
+
+// HitCtx is Hit with request attribution: when the point fires and a
+// fire hook is installed, the hook sees (ctx, name, mode) before the
+// fault takes effect — so a trace span in ctx records exactly which
+// request the injected failure landed on. Semantics are otherwise
+// identical to Hit, including the single-atomic-load disabled path.
+func HitCtx(ctx context.Context, name string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	return hitSlowCtx(ctx, name)
+}
+
+func hitSlowCtx(ctx context.Context, name string) error {
 	p := lookup(name)
 	if p == nil {
 		return nil
@@ -265,6 +297,9 @@ func hitSlow(name string) error {
 	f, fire := p.step()
 	if !fire {
 		return nil
+	}
+	if hook := fireHook.Load(); hook != nil {
+		(*hook)(ctx, name, f.Mode)
 	}
 	if f.Mode == ModeLatency {
 		time.Sleep(f.Latency)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/simil"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 	"repro/internal/tt"
 	"repro/internal/workload"
 )
@@ -71,8 +72,16 @@ func SafeProfile(g *aig.AIG, opts simil.ProfileOptions, needs simil.Artifacts) (
 	return simil.NewProfileFor(g, opts, needs), nil
 }
 
-// SafeFlow runs one optimization flow with panic isolation.
+// SafeFlow runs one optimization flow with panic isolation. When the
+// calling context carries a trace, the flow runs under a
+// "harness/flow" span — defer order matters: the Fail check is
+// declared after End so it runs first (LIFO) and after Recover has
+// turned any panic into err.
 func SafeFlow(ctx context.Context, flow opt.Flow, g *aig.AIG, seed int64) (og *aig.AIG, err error) {
+	ctx, sp := trace.Start(ctx, "harness/flow")
+	sp.Attr("flow", flow.Name).Attr("seed", seed)
+	defer sp.End()
+	defer func() { sp.Fail(err) }()
 	defer Recover(&err, "flow "+flow.Name)
 	return flow.RunCtx(ctx, g, seed), nil
 }
@@ -107,7 +116,12 @@ func (c Config) flowContext(ctx context.Context) (context.Context, context.Cance
 // equivalence violation quarantines the variant: the returned Failure
 // describes it and the Variant is nil.
 func (c Config) buildVariant(ctx context.Context, spec workload.Spec, rec synth.Recipe, flows []opt.Flow) (*Variant, *Failure) {
+	ctx, vspan := trace.Start(ctx, "harness/variant")
+	vspan.Attr("spec", spec.Name).Attr("recipe", rec.Name)
+	defer vspan.End()
 	fail := func(flowName, reason string) (*Variant, *Failure) {
+		vspan.Fail(fmt.Errorf("%s", reason))
+		vspan.Event("variant_quarantined", trace.A("flow", flowName), trace.A("reason", reason))
 		return nil, &Failure{Spec: spec.Name, Recipe: rec.Name, Flow: flowName, Reason: reason}
 	}
 	g, err := safeBuild(rec, spec.Outputs)

@@ -73,10 +73,19 @@ func DefaultConfig() *Config {
 			"(repro/internal/telemetry.Registry).StartSpan":  0,
 			"(repro/internal/telemetry.Registry).RecordSpan": 0,
 			"(repro/internal/telemetry.Span).StartSpan":      0,
+			// Trace span and attribute names share the metric namespace:
+			// span names feed RecordSpan histograms and attribute keys
+			// are the grep surface of /v1/debug/traces output.
+			"repro/internal/telemetry/trace.Start":        1,
+			"repro/internal/telemetry/trace.AddEvent":     1,
+			"repro/internal/telemetry/trace.A":            0,
+			"(repro/internal/telemetry/trace.Span).Attr":  0,
+			"(repro/internal/telemetry/trace.Span).Event": 0,
 		},
 		MetricNamePattern: `^[a-z][a-z0-9_]*(/[a-z][a-z0-9_]*)*$`,
 		FaultPointFuncs: map[string]int{
 			"repro/internal/faultinject.Hit":        0,
+			"repro/internal/faultinject.HitCtx":     1,
 			"repro/internal/faultinject.Delay":      0,
 			"repro/internal/faultinject.WrapWriter": 0,
 		},

@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"hash/fnv"
 	"sync"
 
@@ -51,28 +52,36 @@ func newResultCache(entries int) *resultCache {
 	return c
 }
 
-func (c *resultCache) shard(key string) *cacheShard {
+func (c *resultCache) shardIndex(key string) int {
 	h := fnv.New32a()
 	h.Write([]byte(key))
-	return &c.shards[h.Sum32()%cacheShards]
+	return int(h.Sum32() % cacheShards)
 }
 
-func (c *resultCache) get(key string) (float64, bool) {
-	if err := faultinject.Hit(PointCacheGet); err != nil {
+func (c *resultCache) shard(key string) *cacheShard {
+	return &c.shards[c.shardIndex(key)]
+}
+
+// get looks the key up and additionally reports which shard served it,
+// so per-request traces can attribute contention to a specific shard.
+// ctx carries the requesting trace for fault-injection attribution.
+func (c *resultCache) get(ctx context.Context, key string) (val float64, shard int, ok bool) {
+	shard = c.shardIndex(key)
+	if err := faultinject.HitCtx(ctx, PointCacheGet); err != nil {
 		telemetry.Add("service/cache_misses", 1)
-		return 0, false
+		return 0, shard, false
 	}
-	s := c.shard(key)
+	s := &c.shards[shard]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el, ok := s.byKey[key]
 	if !ok {
 		telemetry.Add("service/cache_misses", 1)
-		return 0, false
+		return 0, shard, false
 	}
 	s.order.MoveToFront(el)
 	telemetry.Add("service/cache_hits", 1)
-	return el.Value.(*cacheItem).val, true
+	return el.Value.(*cacheItem).val, shard, true
 }
 
 func (c *resultCache) put(key string, val float64) {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ErrBreakerOpen is returned (wrapped) when a request is refused
@@ -60,6 +62,7 @@ func (b *breaker) allow() error {
 		}
 		b.state = breakerHalfOpen
 		b.probing = true
+		telemetry.Add("client/breaker_half_open", 1)
 		return nil
 	default: // half-open
 		if b.probing {
@@ -75,6 +78,9 @@ func (b *breaker) report(success bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if success {
+		if b.state != breakerClosed {
+			telemetry.Add("client/breaker_closed", 1)
+		}
 		b.state = breakerClosed
 		b.failures = 0
 		b.probing = false
@@ -86,11 +92,13 @@ func (b *breaker) report(success bool) {
 		b.state = breakerOpen
 		b.openedAt = b.now()
 		b.probing = false
+		telemetry.Add("client/breaker_open", 1)
 	default:
 		b.failures++
 		if b.failures >= b.threshold {
 			b.state = breakerOpen
 			b.openedAt = b.now()
+			telemetry.Add("client/breaker_open", 1)
 		}
 	}
 }

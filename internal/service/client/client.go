@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/service"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Config sizes a Client. The zero value plus a BaseURL is usable:
@@ -199,7 +200,20 @@ func retryAfter(resp *http.Response) time.Duration {
 // do runs one retried HTTP conversation: body sent verbatim with
 // contentType, response decoded into out (if non-nil) on 2xx.
 // idemKey, when non-empty, rides every attempt as Idempotency-Key.
-func (c *Client) do(ctx context.Context, endpoint, method, path, contentType string, body []byte, idemKey string, out any) error {
+//
+// The whole conversation is one "client/http" span — every retry is an
+// event on it and every attempt carries the same traceparent, so the
+// daemon stitches all attempts (and the dedup'd job they land on) to
+// one trace. With tracing disabled locally, EnsureRoot still pins one
+// root identity per conversation for the same stitching server-side.
+func (c *Client) do(ctx context.Context, endpoint, method, path, contentType string, body []byte, idemKey string, out any) (err error) {
+	ctx, sp := trace.Start(ctx, "client/http")
+	if sp == nil {
+		ctx = trace.EnsureRoot(ctx)
+	}
+	sp.Attr("endpoint", endpoint).Attr("method", method).Attr("path", path)
+	defer sp.End()
+	defer func() { sp.Fail(err) }()
 	br := c.breakerFor(endpoint)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -242,6 +256,7 @@ func (c *Client) do(ctx context.Context, endpoint, method, path, contentType str
 			return fmt.Errorf("aigd %s %s: deadline cannot cover %s backoff: %w", method, path, delay, lastErr)
 		}
 		telemetry.Add("client/retries", 1)
+		trace.AddEvent(ctx, "retry", trace.A("attempt", attempt), trace.A("delay_ms", delay.Milliseconds()))
 		if err := c.sleep(ctx, delay); err != nil {
 			return fmt.Errorf("aigd %s %s: %w (last failure: %v)", method, path, err, lastErr)
 		}
@@ -271,6 +286,7 @@ func (c *Client) attempt(ctx context.Context, method, path, contentType string, 
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
 	}
+	trace.Inject(ctx, req.Header)
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		// Transport failure: daemon restarting, connection refused, ...

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/aig"
 	"repro/internal/aiger"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/simil"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // maxAIGERBody bounds a submitted AIGER payload (16 MiB is orders of
@@ -129,8 +131,10 @@ func replyError(w http.ResponseWriter, code int, format string, args ...any) {
 
 // shed refuses a request from a saturated endpoint: 429 plus a
 // Retry-After hint so well-behaved clients back off instead of
-// hammering.
-func (s *Server) shed(w http.ResponseWriter) {
+// hammering. The refusal is stamped onto the request's trace so a
+// shed storm is attributable per request, not just as a counter.
+func (s *Server) shed(w http.ResponseWriter, r *http.Request) {
+	trace.AddEvent(r.Context(), "admission_shed")
 	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	replyError(w, http.StatusTooManyRequests, "saturated, retry later")
 }
@@ -166,36 +170,133 @@ func decodeJSON(r *http.Request, v any) error {
 	return dec.Decode(v)
 }
 
+// routePatterns is the daemon's fixed route table, shared by Handler
+// (mux registration) and newRedSet (per-endpoint RED metric names).
+// Adding a route here is what creates its metric families — cardinality
+// is bounded by this list, never by traffic.
+var routePatterns = []string{
+	"GET /healthz",
+	"POST /v1/aigs",
+	"GET /v1/aigs/{fp}",
+	"POST /v1/metrics",
+	"POST /v1/metrics/batch",
+	"POST /v1/optimize",
+	"POST /v1/report",
+	"GET /v1/jobs/{id}",
+	"DELETE /v1/jobs/{id}",
+}
+
 // Handler returns the daemon's HTTP API. Every endpoint except
-// /healthz refuses with 503 once the server is draining.
+// /healthz refuses with 503 once the server is draining. When a trace
+// store is configured, the read-only trace debug endpoints are mounted
+// alongside the API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("POST /v1/aigs", s.guard(s.handleSubmitAIG))
-	mux.HandleFunc("GET /v1/aigs/{fp}", s.guard(s.handleGetAIG))
-	mux.HandleFunc("POST /v1/metrics", s.guard(s.handleMetrics))
-	mux.HandleFunc("POST /v1/metrics/batch", s.guard(s.handleMetricsBatch))
-	mux.HandleFunc("POST /v1/optimize", s.guard(s.handleOptimize))
-	mux.HandleFunc("POST /v1/report", s.guard(s.handleReport))
-	mux.HandleFunc("GET /v1/jobs/{id}", s.guard(s.handleGetJob))
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.guard(s.handleCancelJob))
+	mux.HandleFunc("POST /v1/aigs", s.guard("POST /v1/aigs", s.handleSubmitAIG))
+	mux.HandleFunc("GET /v1/aigs/{fp}", s.guard("GET /v1/aigs/{fp}", s.handleGetAIG))
+	mux.HandleFunc("POST /v1/metrics", s.guard("POST /v1/metrics", s.handleMetrics))
+	mux.HandleFunc("POST /v1/metrics/batch", s.guard("POST /v1/metrics/batch", s.handleMetricsBatch))
+	mux.HandleFunc("POST /v1/optimize", s.guard("POST /v1/optimize", s.handleOptimize))
+	mux.HandleFunc("POST /v1/report", s.guard("POST /v1/report", s.handleReport))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.guard("GET /v1/jobs/{id}", s.handleGetJob))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.guard("DELETE /v1/jobs/{id}", s.handleCancelJob))
+	if s.cfg.Trace != nil {
+		mux.Handle("GET /v1/debug/traces", s.cfg.Trace.Handler())
+		mux.Handle("GET /v1/debug/traces/{id}", s.cfg.Trace.Handler())
+	}
 	return mux
 }
 
-// guard wraps a handler with the drain gate and request accounting.
-func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
+// statusRecorder captures the status code and body size a handler
+// writes, for the request span, RED metrics, and the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += n
+	return n, err
+}
+
+// guard wraps a handler with the drain gate and request accounting: it
+// extracts the caller's traceparent (or roots a fresh trace), opens the
+// "service/request" span every downstream span hangs off, echoes the
+// trace identity in response headers, and on completion feeds the RED
+// metrics and the structured access log. pattern must be one of
+// routePatterns.
+func (s *Server) guard(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.red.endpoint(pattern)
 	return func(w http.ResponseWriter, r *http.Request) {
 		telemetry.Add("service/requests", 1)
-		if s.draining.Load() {
-			w.Header().Set("Connection", "close")
-			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-			replyError(w, http.StatusServiceUnavailable, "draining")
-			return
+		ctx := r.Context()
+		if sc, ok := trace.Extract(r.Header); ok {
+			ctx = trace.ContextWithRemote(ctx, sc)
 		}
-		sp := telemetry.StartSpan("service/request")
-		h(w, r)
+		ctx, sp := trace.Start(ctx, "service/request")
+		sp.Attr("endpoint", ep.path).Attr("method", r.Method)
+		if sp != nil {
+			w.Header().Set(trace.TraceIDHeader, sp.Context().TraceID.String())
+			w.Header().Set("traceparent", trace.Traceparent(sp.Context()))
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		if s.draining.Load() {
+			rec.Header().Set("Connection", "close")
+			rec.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			replyError(rec, http.StatusServiceUnavailable, "draining")
+		} else {
+			h(rec, r.WithContext(ctx))
+		}
+		d := time.Since(start)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		sp.Attr("status", rec.status)
+		if rec.status >= 500 {
+			sp.Fail(fmt.Errorf("http %d", rec.status))
+		}
+		if sp == nil {
+			// Tracing off: keep the pre-existing aggregate span alive.
+			telemetry.Default().RecordSpan("service/request", d)
+		}
 		sp.End()
+		s.red.record(ep, rec.status, d)
+		s.logAccess(sp, r, ep, rec, d)
 	}
+}
+
+// logAccess emits one structured access-log line per finished request
+// on the configured JSONL event stream (no-op when none is set).
+func (s *Server) logAccess(sp *trace.Span, r *http.Request, ep *redEndpoint, rec *statusRecorder, d time.Duration) {
+	if s.cfg.Events == nil {
+		return
+	}
+	fields := map[string]any{
+		"method":      r.Method,
+		"path":        r.URL.Path,
+		"endpoint":    ep.path,
+		"status":      rec.status,
+		"bytes":       rec.bytes,
+		"duration_ms": float64(d) / float64(time.Millisecond),
+	}
+	if sp != nil {
+		fields["trace_id"] = sp.Context().TraceID.String()
+	}
+	s.cfg.Events.Log("http_request", fields)
 }
 
 // --- endpoints ---------------------------------------------------------
@@ -227,7 +328,10 @@ func (s *Server) handleSubmitAIG(w http.ResponseWriter, r *http.Request) {
 	// cones collide on one key; without Cleanup the stored stats and
 	// profiles would depend on whichever structure arrived first, which
 	// would break the hit-equals-fresh-computation invariant.
+	_, ispan := trace.Start(r.Context(), "service/store_intern")
 	e, known := s.store.put(g.Cleanup())
+	ispan.Attr("fingerprint", e.fp).Attr("known", known)
+	ispan.End()
 	reply(w, http.StatusOK, viewOf(e, known))
 }
 
@@ -269,7 +373,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sp := telemetry.StartSpan("service/metrics")
 	defer sp.End()
 	if !s.metricsAdm.enter() {
-		s.shed(w)
+		s.shed(w, r)
 		return
 	}
 	defer s.metricsAdm.leave()
@@ -289,10 +393,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		replyError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	ctx := r.Context()
 	var scores map[string]float64
 	var serr error
-	err = s.pool.run(r.Context(), func() { scores, serr = s.pairScores(ea, eb, metrics) })
+	// The queue-wait span covers trySubmit through the worker picking
+	// the task up — the time this request spent waiting for capacity.
+	_, qspan := trace.Start(ctx, "service/queue_wait")
+	err = s.pool.run(ctx, func() {
+		qspan.End()
+		scores, serr = s.pairScores(ctx, ea, eb, metrics)
+	})
 	if err != nil {
+		qspan.Fail(err).End()
 		s.replyPoolError(w, r, err)
 		return
 	}
@@ -311,7 +423,7 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 	sp := telemetry.StartSpan("service/metrics_batch")
 	defer sp.End()
 	if !s.metricsAdm.enter() {
-		s.shed(w)
+		s.shed(w, r)
 		return
 	}
 	defer s.metricsAdm.leave()
@@ -346,7 +458,9 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 	resp := batchResponse{AIGs: req.AIGs}
 	ctx := r.Context()
 	var serr error
+	_, qspan := trace.Start(ctx, "service/queue_wait")
 	err = s.pool.run(ctx, func() {
+		qspan.End()
 		// Coalesce the batch's per-graph work up front: one profile per
 		// graph covering the union of artifact needs.
 		needs := simil.Needs(metrics)
@@ -364,7 +478,7 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 				if serr = ctx.Err(); serr != nil {
 					return
 				}
-				scores, perr := s.pairScores(entries[i], entries[j], metrics)
+				scores, perr := s.pairScores(ctx, entries[i], entries[j], metrics)
 				if perr != nil {
 					serr = perr
 					return
@@ -374,6 +488,7 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if err != nil {
+		qspan.Fail(err).End()
 		s.replyPoolError(w, r, err)
 		return
 	}
@@ -393,7 +508,7 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 // 499-style semantics (the client is gone; any status is unread).
 func (s *Server) replyPoolError(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, errBusy) {
-		s.shed(w)
+		s.shed(w, r)
 		return
 	}
 	if r.Context().Err() != nil {
@@ -408,7 +523,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	sp := telemetry.StartSpan("service/optimize")
 	defer sp.End()
 	if !s.jobsAdm.enter() {
-		s.shed(w)
+		s.shed(w, r)
 		return
 	}
 	var req optimizeRequest
@@ -444,18 +559,18 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// retry never schedules anything, so this request's slot is handed
 	// straight back: the original submission's slot already covers the
 	// job.
-	j, dup, err := s.jobs.submit(s.baseCtx, s.pool, "optimize", idempotencyKey(r), func(ctx context.Context) (any, error) {
+	j, dup, err := s.jobs.submit(s.baseCtx, r.Context(), s.pool, "optimize", idempotencyKey(r), func(ctx context.Context) (any, error) {
 		return s.runOptimize(ctx, e, flow, req.Seed)
 	}, s.jobsAdm.leave)
 	if err != nil {
 		s.jobsAdm.leave()
-		s.shed(w)
+		s.shed(w, r)
 		return
 	}
 	if dup {
 		s.jobsAdm.leave()
 	}
-	s.accept(w, j)
+	s.accept(w, r, j)
 }
 
 // idempotencyKey extracts the client's Idempotency-Key header for job
@@ -465,8 +580,11 @@ func idempotencyKey(r *http.Request) string {
 	return r.Header.Get("Idempotency-Key")
 }
 
-func (s *Server) accept(w http.ResponseWriter, j *job) {
+func (s *Server) accept(w http.ResponseWriter, r *http.Request, j *job) {
 	v := j.snapshot()
+	if sp := trace.SpanFromContext(r.Context()); sp != nil {
+		sp.Attr("job_id", v.ID)
+	}
 	reply(w, http.StatusAccepted, jobAccepted{ID: v.ID, Status: v.Status, Poll: "/v1/jobs/" + v.ID})
 }
 
@@ -488,6 +606,7 @@ func (s *Server) runOptimize(ctx context.Context, e *storedAIG, flow opt.Flow, s
 		if eqErr == nil {
 			eqErr = fmt.Errorf("optimized AIG differs from input on output %d", idx)
 		}
+		trace.AddEvent(ctx, "equiv_quarantine", trace.A("flow", flow.Name), trace.A("output", idx))
 		return nil, eqErr
 	}
 	og = og.Cleanup()
@@ -515,7 +634,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	sp := telemetry.StartSpan("service/report")
 	defer sp.End()
 	if !s.jobsAdm.enter() {
-		s.shed(w)
+		s.shed(w, r)
 		return
 	}
 	var req reportRequest
@@ -542,25 +661,25 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		replyError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	j, dup, err := s.jobs.submit(s.baseCtx, s.pool, "report", idempotencyKey(r), func(ctx context.Context) (any, error) {
+	j, dup, err := s.jobs.submit(s.baseCtx, r.Context(), s.pool, "report", idempotencyKey(r), func(ctx context.Context) (any, error) {
 		return s.runReport(ctx, ea, eb, flows, metrics, req.Seed)
 	}, s.jobsAdm.leave)
 	if err != nil {
 		s.jobsAdm.leave()
-		s.shed(w)
+		s.shed(w, r)
 		return
 	}
 	if dup {
 		s.jobsAdm.leave()
 	}
-	s.accept(w, j)
+	s.accept(w, r, j)
 }
 
 // runReport reuses the harness's pair-sample shape: RecipeA/RecipeB
 // carry the fingerprints, Metrics the pairwise scores, ROD the per-flow
 // Relative Optimizability Difference of Eq. 1.
 func (s *Server) runReport(ctx context.Context, ea, eb *storedAIG, flows []opt.Flow, metrics []simil.Metric, seed int64) (any, error) {
-	scores, err := s.pairScores(ea, eb, metrics)
+	scores, err := s.pairScores(ctx, ea, eb, metrics)
 	if err != nil {
 		return nil, err
 	}

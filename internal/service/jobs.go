@@ -12,6 +12,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/harness"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // PointSpill is the fault-injection point on the job-result spill
@@ -39,7 +40,12 @@ type JobView struct {
 	ID     string    `json:"id"`
 	Kind   string    `json:"kind"`
 	Status JobStatus `json:"status"`
-	Error  string    `json:"error,omitempty"`
+	// TraceID is the trace of the submit request that created the job
+	// ("" when tracing was off at submit time): the async work, its
+	// spill write, and the originating HTTP request all share it, and
+	// it is retrievable from /v1/debug/traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
+	Error   string `json:"error,omitempty"`
 	// Result holds the job's output once Status is done. Results larger
 	// than the spill threshold are written to disk atomically and
 	// replaced by a SpillRef.
@@ -116,14 +122,24 @@ func newJobManager(history int, spillDir string, spillBytes int) *jobManager {
 // lifetime rather than to run executing. When submit returns an error
 // or dup=true the task was never scheduled and onExit is NOT called;
 // the caller still owns its resources.
-func (m *jobManager) submit(ctx context.Context, p *pool, kind, idemKey string, run func(ctx context.Context) (any, error), onExit func()) (j *job, dup bool, err error) {
-	jctx, cancel := context.WithCancel(ctx)
+//
+// rctx is the submitting request's context: its trace identity (not
+// its lifetime) is carried over onto the job, so the async work and
+// its spill write stitch into the originating request's trace even
+// though they run under the long-lived base ctx.
+func (m *jobManager) submit(ctx, rctx context.Context, p *pool, kind, idemKey string, run func(ctx context.Context) (any, error), onExit func()) (j *job, dup bool, err error) {
+	sc := trace.FromContext(rctx)
+	jctx, cancel := context.WithCancel(trace.ContextWithRemote(ctx, sc))
 	m.mu.Lock()
 	if idemKey != "" {
 		if prior, ok := m.idem[idemKey]; ok {
 			m.mu.Unlock()
 			cancel()
 			telemetry.Add("service/idempotent_replays", 1)
+			// The replaying request gets no job spans of its own — the
+			// original submission's trace carries them — so mark the
+			// replay on this request's trace instead.
+			trace.AddEvent(rctx, "idempotent_replay", trace.A("job_id", prior.snapshot().ID))
 			return prior, true, nil
 		}
 	}
@@ -131,7 +147,7 @@ func (m *jobManager) submit(ctx context.Context, p *pool, kind, idemKey string, 
 	id := fmt.Sprintf("j%06d", m.seq)
 	j = &job{
 		idemKey: idemKey,
-		view:    JobView{ID: id, Kind: kind, Status: JobQueued},
+		view:    JobView{ID: id, Kind: kind, Status: JobQueued, TraceID: traceIDString(sc)},
 		cancel:  cancel,
 		done:    make(chan struct{}),
 	}
@@ -141,8 +157,15 @@ func (m *jobManager) submit(ctx context.Context, p *pool, kind, idemKey string, 
 	}
 	m.mu.Unlock()
 
+	// The queue-wait span measures submit-to-pickup for the async path;
+	// it lives on the job's trace, not the request context, because the
+	// wait routinely outlives the submitting request.
+	_, qspan := trace.Start(jctx, "service/job_queue_wait")
+	qspan.Attr("job_id", id)
+
 	m.inflight.Add(1)
-	ok := p.trySubmit(func() {
+	ok := p.trySubmit(rctx, func() {
+		qspan.End()
 		defer m.inflight.Done()
 		defer close(j.done)
 		defer m.prune()
@@ -154,7 +177,7 @@ func (m *jobManager) submit(ctx context.Context, p *pool, kind, idemKey string, 
 		// baseCtx for the daemon's lifetime.
 		defer cancel()
 		if jctx.Err() != nil { // canceled while queued
-			m.finish(j, JobCanceled, nil, jctx.Err())
+			m.finish(jctx, j, JobCanceled, nil, jctx.Err())
 			return
 		}
 		j.mu.Lock()
@@ -162,17 +185,24 @@ func (m *jobManager) submit(ctx context.Context, p *pool, kind, idemKey string, 
 		j.mu.Unlock()
 		telemetry.Add("service/jobs_started", 1)
 
-		res, err := m.runGuarded(jctx, kind, run)
+		sctx, jspan := trace.Start(jctx, "service/job")
+		jspan.Attr("kind", kind).Attr("job_id", id)
+		res, err := m.runGuarded(sctx, kind, run)
 		switch {
 		case err != nil && jctx.Err() != nil:
-			m.finish(j, JobCanceled, nil, err)
+			m.finish(sctx, j, JobCanceled, nil, err)
 		case err != nil:
-			m.finish(j, JobFailed, nil, err)
+			m.finish(sctx, j, JobFailed, nil, err)
 		default:
-			m.finish(j, JobDone, res, nil)
+			m.finish(sctx, j, JobDone, res, nil)
 		}
+		jspan.Attr("status", string(j.snapshot().Status))
+		jspan.Fail(err)
+		jspan.End()
 	})
 	if !ok {
+		qspan.Fail(errBusy)
+		qspan.End()
 		m.inflight.Done()
 		cancel()
 		m.mu.Lock()
@@ -187,6 +217,14 @@ func (m *jobManager) submit(ctx context.Context, p *pool, kind, idemKey string, 
 	return j, false, nil
 }
 
+// traceIDString renders a span context's trace ID ("" when invalid).
+func traceIDString(sc trace.SpanContext) string {
+	if !sc.Valid() {
+		return ""
+	}
+	return sc.TraceID.String()
+}
+
 // runGuarded executes the job body with the harness panic guard: a
 // panic becomes an error (and a harness/panics_recovered count), never
 // a crashed daemon.
@@ -195,9 +233,9 @@ func (m *jobManager) runGuarded(ctx context.Context, kind string, run func(ctx c
 	return run(ctx)
 }
 
-func (m *jobManager) finish(j *job, status JobStatus, res any, err error) {
+func (m *jobManager) finish(ctx context.Context, j *job, status JobStatus, res any, err error) {
 	if res != nil && status == JobDone {
-		res = m.maybeSpill(j.snapshot().ID, res)
+		res = m.maybeSpill(ctx, j.snapshot().ID, res)
 	}
 	j.mu.Lock()
 	j.view.Status = status
@@ -220,7 +258,7 @@ func (m *jobManager) finish(j *job, status JobStatus, res any, err error) {
 // fsync-before-rename helper and returns a SpillRef in its place, so
 // the in-memory job table stays small under heavy result traffic and a
 // crash mid-spill can never leave a torn file.
-func (m *jobManager) maybeSpill(id string, res any) any {
+func (m *jobManager) maybeSpill(ctx context.Context, id string, res any) any {
 	if m.spillDir == "" {
 		return res
 	}
@@ -228,8 +266,12 @@ func (m *jobManager) maybeSpill(id string, res any) any {
 	if err != nil || len(body) < m.spillBytes {
 		return res
 	}
-	if err := faultinject.Hit(PointSpill); err != nil {
+	sctx, sspan := trace.Start(ctx, "service/job_spill")
+	defer sspan.End()
+	sspan.Attr("job_id", id).Attr("bytes", len(body))
+	if err := faultinject.HitCtx(sctx, PointSpill); err != nil {
 		telemetry.Add("service/spill_errors", 1)
+		sspan.Fail(err)
 		return res
 	}
 	path := filepath.Join(m.spillDir, "job-"+id+".json")
@@ -239,6 +281,7 @@ func (m *jobManager) maybeSpill(id string, res any) any {
 	}); err != nil {
 		// Spill failure is not job failure: serve the result in memory.
 		telemetry.Add("service/spill_errors", 1)
+		sspan.Fail(err)
 		return res
 	}
 	telemetry.Add("service/spills", 1)

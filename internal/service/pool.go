@@ -46,12 +46,13 @@ func newPool(workers, depth int) *pool {
 }
 
 // trySubmit enqueues t without blocking; false means the queue is full
-// or the pool is shut down.
-func (p *pool) trySubmit(t func()) bool {
+// or the pool is shut down. ctx carries the submitting request's trace
+// for fault-injection attribution only — it does not bound t.
+func (p *pool) trySubmit(ctx context.Context, t func()) bool {
 	if p.stopped.Load() {
 		return false
 	}
-	if err := faultinject.Hit(PointPoolSubmit); err != nil {
+	if err := faultinject.HitCtx(ctx, PointPoolSubmit); err != nil {
 		return false
 	}
 	select {
@@ -68,7 +69,7 @@ func (p *pool) trySubmit(t func()) bool {
 // execute later; the caller must not read f's results after an error.
 func (p *pool) run(ctx context.Context, f func()) error {
 	done := make(chan struct{})
-	if !p.trySubmit(func() { defer close(done); f() }) {
+	if !p.trySubmit(ctx, func() { defer close(done); f() }) {
 		return errBusy
 	}
 	select {

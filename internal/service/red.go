@@ -1,0 +1,106 @@
+package service
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// defaultSLOTarget is the per-request latency objective when
+// Config.SLOTarget is zero: requests slower than this burn the
+// endpoint's slo_breaches counter.
+const defaultSLOTarget = 500 * time.Millisecond
+
+// redEndpoint holds one route's precomputed RED metric names. The
+// names are built once at startup from the fixed route table, so the
+// per-endpoint metric family cardinality is bounded by the route count
+// — never by traffic — and the hot path passes only stored strings to
+// telemetry (the metricname lint treats field reads as pass-through
+// plumbing from these construction sites).
+type redEndpoint struct {
+	path string // route pattern, e.g. "/v1/metrics" — the span's endpoint attribute
+
+	requests    string // service/red/<key>/requests
+	errs        string // service/red/<key>/errors
+	seconds     string // service/red/<key>/seconds (histogram)
+	sloBreaches string // service/red/<key>/slo_breaches
+}
+
+// redSet derives per-endpoint RED (Rate, Errors, Duration) families
+// plus an SLO burn counter from the same request spans the trace layer
+// records, keyed by route pattern.
+type redSet struct {
+	slo       time.Duration
+	byPattern map[string]*redEndpoint
+}
+
+// newRedSet precomputes metric names for each route pattern of the
+// form "METHOD /path/{wildcards}".
+func newRedSet(slo time.Duration, patterns []string) *redSet {
+	if slo <= 0 {
+		slo = defaultSLOTarget
+	}
+	rs := &redSet{slo: slo, byPattern: make(map[string]*redEndpoint, len(patterns))}
+	for _, pat := range patterns {
+		key := redKey(pat)
+		path := pat
+		if i := strings.IndexByte(pat, ' '); i >= 0 {
+			path = pat[i+1:]
+		}
+		rs.byPattern[pat] = &redEndpoint{
+			path:        path,
+			requests:    "service/red/" + key + "/requests",
+			errs:        "service/red/" + key + "/errors",
+			seconds:     "service/red/" + key + "/seconds",
+			sloBreaches: "service/red/" + key + "/slo_breaches",
+		}
+	}
+	return rs
+}
+
+// redKey flattens a route pattern into one snake_case metric segment:
+// "GET /v1/aigs/{fp}" → "get_v1_aigs_fp".
+func redKey(pattern string) string {
+	var b strings.Builder
+	lastUnderscore := true // suppress a leading underscore
+	for _, r := range pattern {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastUnderscore = false
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+			lastUnderscore = false
+		default:
+			if !lastUnderscore {
+				b.WriteByte('_')
+				lastUnderscore = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "_")
+}
+
+// endpoint returns the precomputed names for a registered pattern
+// (nil for unknown patterns; callers treat nil as "no RED accounting").
+func (rs *redSet) endpoint(pattern string) *redEndpoint {
+	return rs.byPattern[pattern]
+}
+
+// record folds one finished request into the endpoint's RED families:
+// rate (requests), errors (5xx), duration (seconds histogram), and the
+// latency-objective burn counter.
+func (rs *redSet) record(ep *redEndpoint, status int, d time.Duration) {
+	if ep == nil {
+		return
+	}
+	telemetry.Add(ep.requests, 1)
+	if status >= 500 {
+		telemetry.Add(ep.errs, 1)
+	}
+	telemetry.Observe(ep.seconds, d.Seconds())
+	if d > rs.slo {
+		telemetry.Add(ep.sloBreaches, 1)
+	}
+}

@@ -1,12 +1,14 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 
 	"repro/internal/harness"
 	"repro/internal/simil"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // profileSeed derives the per-graph profile seed deterministically from
@@ -88,7 +90,16 @@ func resolveMetrics(names []string) ([]simil.Metric, error) {
 // cache rests on: a hit is bit-identical to what a fresh computation
 // would produce (deterministic profiles via profileSeed, symmetric
 // metrics in canonical operand order).
-func (s *Server) pairScores(ea, eb *storedAIG, metrics []simil.Metric) (map[string]float64, error) {
+//
+// The whole pair is one "service/pair_scores" span; each metric's
+// cache outcome (hit, miss, shard, singleflight role) is an event on
+// it, so a slow request decomposes into exactly which lookups missed
+// and which flights it waited behind.
+func (s *Server) pairScores(ctx context.Context, ea, eb *storedAIG, metrics []simil.Metric) (_ map[string]float64, err error) {
+	sctx, sp := trace.Start(ctx, "service/pair_scores")
+	sp.Attr("a", ea.fp).Attr("b", eb.fp)
+	defer sp.End()
+	defer func() { sp.Fail(err) }()
 	needs := simil.Needs(metrics)
 	pa, err := s.profileFor(ea, needs)
 	if err != nil {
@@ -101,7 +112,8 @@ func (s *Server) pairScores(ea, eb *storedAIG, metrics []simil.Metric) (map[stri
 	out := make(map[string]float64, len(metrics))
 	for _, m := range metrics {
 		key, swapped := cacheKey(m.Name, ea.fp, eb.fp)
-		if v, ok := s.cache.get(key); ok {
+		if v, shard, ok := s.cache.get(sctx, key); ok {
+			sp.Event("cache_lookup", trace.A("metric", m.Name), trace.A("shard", shard), trace.A("outcome", "hit"))
 			out[m.Name] = v
 			continue
 		}
@@ -110,10 +122,12 @@ func (s *Server) pairScores(ea, eb *storedAIG, metrics []simil.Metric) (map[stri
 			p1, p2 = pb, pa
 		}
 		compute := m.Compute
-		v, cerr, _ := s.flights.do(key, func() (val float64, err error) {
+		led := false
+		v, cerr, shared := s.flights.do(key, func() (val float64, err error) {
+			led = true
 			// Re-check under the flight: a caller that missed the cache
 			// while another flight was mid-fill must not recompute.
-			if v, ok := s.cache.get(key); ok {
+			if v, _, ok := s.cache.get(sctx, key); ok {
 				return v, nil
 			}
 			defer harness.Recover(&err, "metric "+m.Name)
@@ -125,6 +139,12 @@ func (s *Server) pairScores(ea, eb *storedAIG, metrics []simil.Metric) (map[stri
 			s.cache.put(key, val)
 			return val, nil
 		})
+		role := "leader"
+		if shared || !led {
+			role = "follower"
+		}
+		shard := s.cache.shardIndex(key)
+		sp.Event("cache_lookup", trace.A("metric", m.Name), trace.A("shard", shard), trace.A("outcome", "miss"), trace.A("role", role))
 		if cerr != nil {
 			return nil, cerr
 		}

@@ -36,6 +36,8 @@ import (
 	"time"
 
 	"repro/internal/simil"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Config sizes the daemon. The zero value is usable: every field has a
@@ -68,6 +70,17 @@ type Config struct {
 	// structural fingerprint so identical structures always profile
 	// identically.
 	Profile simil.ProfileOptions
+	// Trace, when set, is served on /v1/debug/traces alongside the API.
+	// It should be the same store installed with trace.SetCollector —
+	// the Handler only reads it.
+	Trace *trace.Store
+	// Events, when set, receives a structured "http_request" access-log
+	// line per finished request (trace ID, endpoint, status, bytes,
+	// duration) on the JSONL event stream.
+	Events *telemetry.EventLogger
+	// SLOTarget is the per-request latency objective behind the
+	// per-endpoint slo_breaches counters (default 500ms).
+	SLOTarget time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +123,7 @@ type Server struct {
 	jobs       *jobManager
 	metricsAdm admission
 	jobsAdm    admission
+	red        *redSet
 
 	baseCtx  context.Context
 	baseStop context.CancelFunc
@@ -140,6 +154,7 @@ func New(cfg Config) *Server {
 		flights:  newFlightGroup(),
 		pool:     newPool(cfg.Workers, cfg.QueueDepth),
 		jobs:     newJobManager(cfg.JobHistory, cfg.SpillDir, cfg.SpillBytes),
+		red:      newRedSet(cfg.SLOTarget, routePatterns),
 		baseCtx:  ctx,
 		baseStop: stop,
 	}

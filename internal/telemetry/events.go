@@ -1,8 +1,11 @@
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -14,9 +17,11 @@ import (
 // through Err at end of run, never corrupt the pipeline itself.
 const PointEventWrite = "telemetry/event_write"
 
-// EventLogger writes structured pipeline events as JSONL: one JSON
-// object per line with "ts" (RFC3339Nano) and "event" keys plus the
-// caller's fields (keys emitted in sorted order). A nil logger is a
+// EventLogger writes structured pipeline events as JSONL, one JSON
+// object per line in a byte-stable layout: "ts" (RFC3339Nano) first,
+// "event" second, then the caller's fields in sorted key order. The
+// same logical event always serializes to the same bytes (modulo ts),
+// so event logs diff and grep cleanly across runs. A nil logger is a
 // no-op, so call sites need no telemetry-enabled guard.
 //
 // Log never fails the pipeline, but the first underlying write error is
@@ -38,26 +43,49 @@ func NewEventLogger(w io.Writer) *EventLogger {
 }
 
 // Log emits one event line. Field keys "ts" and "event" are reserved
-// and overwritten if present.
+// and skipped if present. A value json.Marshal cannot encode (a
+// channel, a complex number, a cyclic structure) degrades to its
+// fmt.Sprint string rather than dropping the whole line.
 func (l *EventLogger) Log(event string, fields map[string]any) {
 	if l == nil {
 		return
 	}
-	doc := make(map[string]any, len(fields)+2)
-	for k, v := range fields {
-		doc[k] = v
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		if k == "ts" || k == "event" {
+			continue
+		}
+		keys = append(keys, k)
 	}
-	doc["ts"] = now().UTC().Format(time.RFC3339Nano)
-	doc["event"] = event
-	line, err := json.Marshal(doc)
-	if err != nil {
-		return
+	sort.Strings(keys)
+	var b bytes.Buffer
+	b.WriteString(`{"ts":`)
+	writeJSONValue(&b, now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(`,"event":`)
+	writeJSONValue(&b, event)
+	for _, k := range keys {
+		b.WriteByte(',')
+		writeJSONValue(&b, k)
+		b.WriteByte(':')
+		writeJSONValue(&b, fields[k])
 	}
+	b.WriteString("}\n")
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, err := l.w.Write(append(line, '\n')); err != nil && l.err == nil {
+	if _, err := l.w.Write(b.Bytes()); err != nil && l.err == nil {
 		l.err = err
 	}
+}
+
+// writeJSONValue appends v's JSON encoding, falling back to the
+// fmt.Sprint string for unmarshalable values. (Strings never fail, so
+// the fallback marshal cannot.)
+func writeJSONValue(b *bytes.Buffer, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		raw, _ = json.Marshal(fmt.Sprint(v))
+	}
+	b.Write(raw)
 }
 
 // Err returns the first write error encountered, or nil. Safe on nil.

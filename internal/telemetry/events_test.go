@@ -6,7 +6,36 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
+
+// TestEventLoggerGolden pins the exact bytes of an event line: ts
+// first, event second, caller keys sorted, reserved keys skipped, and
+// unmarshalable values degraded to their fmt.Sprint form. Any encoder
+// change that reorders or reformats output breaks this test — that is
+// the point, downstream tooling diffs these files.
+func TestEventLoggerGolden(t *testing.T) {
+	defer func(orig func() time.Time) { now = orig }(now)
+	now = func() time.Time { return time.Date(2026, 8, 7, 12, 0, 0, 123456789, time.UTC) }
+
+	var buf bytes.Buffer
+	l := NewEventLogger(&buf)
+	l.Log("golden", map[string]any{
+		"zeta":   1,
+		"alpha":  "x",
+		"nested": map[string]int{"b": 2, "a": 1},
+		"cplx":   complex(1, 2), // not JSON-marshalable: falls back to fmt.Sprint
+		"ts":     "spoofed",     // reserved: skipped
+		"event":  "spoofed",     // reserved: skipped
+	})
+	want := `{"ts":"2026-08-07T12:00:00.123456789Z","event":"golden","alpha":"x","cplx":"(1+2i)","nested":{"a":1,"b":2},"zeta":1}` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch:\n got %q\nwant %q", got, want)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("unexpected logger error: %v", err)
+	}
+}
 
 func TestEventLoggerJSONL(t *testing.T) {
 	var buf bytes.Buffer

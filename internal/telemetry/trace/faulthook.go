@@ -1,0 +1,19 @@
+package trace
+
+import (
+	"context"
+
+	"repro/internal/faultinject"
+)
+
+// init wires fault injection into tracing: every fault fired at a
+// context-aware point (faultinject.HitCtx) is recorded as an event on
+// the live span in that context, so a chaos run's trace shows exactly
+// which request a torn write or injected ENOSPC landed on. The hook is
+// a no-op span Event when tracing is disabled, preserving faultinject's
+// cheap paths.
+func init() {
+	faultinject.SetFireHook(func(ctx context.Context, name string, m faultinject.Mode) {
+		AddEvent(ctx, "fault_injected", A("point", name), A("mode", m.String()))
+	})
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Handler serves the trace debug API:
+//
+//	GET /v1/debug/traces            — listing; query params endpoint,
+//	                                  status (ok|error|open), min_duration
+//	                                  (Go duration, e.g. 250ms)
+//	GET /v1/debug/traces/{id}       — full span tree as JSON;
+//	                                  ?format=flame renders the text tree
+//
+// Mount it alongside the service handler so the store feeding the
+// collector is the one being read.
+func (st *Store) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/debug/traces", st.handleList)
+	mux.HandleFunc("GET /v1/debug/traces/{id}", st.handleGet)
+	return mux
+}
+
+func (st *Store) handleList(w http.ResponseWriter, r *http.Request) {
+	var f Filter
+	q := r.URL.Query()
+	f.Endpoint = q.Get("endpoint")
+	switch s := q.Get("status"); s {
+	case "", "ok", "error", "open":
+		f.Status = s
+	default:
+		httpError(w, http.StatusBadRequest, "status must be ok, error, or open")
+		return
+	}
+	if md := q.Get("min_duration"); md != "" {
+		d, err := time.ParseDuration(md)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad min_duration: "+err.Error())
+			return
+		}
+		f.MinDuration = d
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": st.List(f)})
+}
+
+func (st *Store) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if r.URL.Query().Get("format") == "flame" {
+		text, ok := st.Flame(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown or evicted trace")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := w.Write([]byte(text)); err != nil {
+			telemetry.Add("trace/write_errors", 1)
+		}
+		return
+	}
+	v, ok := st.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown or evicted trace")
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		telemetry.Add("trace/write_errors", 1)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

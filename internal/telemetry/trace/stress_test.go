@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStoreConcurrentStress hammers the trace ring from many writer
+// goroutines (span trees with attributes, events, and failures) while
+// reader goroutines walk the debug read API and eviction churns the
+// ring far past capacity. Run under -race (tier 2) this is the data
+// integrity proof for the store.
+func TestStoreConcurrentStress(t *testing.T) {
+	st := withStore(t, StoreConfig{Capacity: 32, SlowKeep: 4, SampleRate: 0.2})
+
+	const (
+		writers         = 8
+		readers         = 4
+		tracesPerWriter = 100
+		spansPerTrace   = 6
+	)
+
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+
+	// Readers: List with rotating filters, Get and Flame on whatever
+	// IDs the listing surfaces, racing live writes and eviction.
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				var f Filter
+				switch i % 4 {
+				case 1:
+					f.Status = "error"
+				case 2:
+					f.Status = "open"
+				case 3:
+					f.MinDuration = time.Microsecond
+				}
+				list := st.List(f)
+				if len(list) > 0 {
+					id := list[i%len(list)].TraceID
+					st.Get(id)
+					if i%3 == 0 {
+						st.Flame(id)
+					}
+				}
+			}
+		}()
+	}
+
+	// Writers: nested span trees; every third trace errors, every fifth
+	// ends a leaf after its root so open/complete transitions race the
+	// readers and the evictor.
+	var wwg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			for i := 0; i < tracesPerWriter; i++ {
+				ctx, root := Start(context.Background(), "stress/root")
+				root.Attr("endpoint", "/v1/stress")
+				var late []*Span
+				for s := 1; s < spansPerTrace; s++ {
+					_, sp := Start(ctx, "stress/child")
+					sp.Event("tick", A("n", s))
+					if i%3 == 0 && s == 1 {
+						sp.Fail(errors.New("stress error"))
+					}
+					if i%5 == 0 && s == spansPerTrace-1 {
+						late = append(late, sp)
+						continue
+					}
+					sp.End()
+				}
+				root.End()
+				for _, sp := range late {
+					sp.End()
+				}
+			}
+		}(w)
+	}
+
+	wwg.Wait()
+	close(stop)
+	rwg.Wait()
+	if st.Len() > 32 {
+		t.Fatalf("store over capacity after stress: %d", st.Len())
+	}
+}

@@ -37,12 +37,14 @@ fuzz:
 	go test -run '^$$' -fuzz '^FuzzHandlers$$' -fuzztime $(FUZZTIME) ./internal/service
 
 # chaos runs the deterministic fault-injection suite under the race
-# detector: the faultinject registry's own tests plus every TestChaos*
+# detector: the faultinject registry's own tests, the client and
+# cluster suites (partition mid-request, torn fill replies, replication
+# killed mid-fan-out, eviction/re-admission), plus every TestChaos*
 # scenario (atomic-write fault matrix, torn-checkpoint resume
 # byte-identity, spill degradation, restart recovery sweeps, idempotent
 # retry accounting). See README "Fault injection & chaos testing".
 chaos:
-	go test -race ./internal/faultinject ./internal/service/client
+	go test -race ./internal/faultinject ./internal/service/client ./internal/cluster
 	go test -race -run '^TestChaos' ./internal/harness ./internal/service
 
 # bench runs every benchmark once; the pipeline benchmarks report a

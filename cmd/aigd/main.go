@@ -8,6 +8,8 @@
 //	     [-store-entries N] [-spill-dir DIR] [-spill-threshold BYTES]
 //	     [-drain-timeout DUR] [-events FILE] [-trace] [-trace-entries N]
 //	     [-trace-slow N] [-trace-sample RATE] [-slo DUR]
+//	     [-node-id ID -peers ID=URL,ID=URL,...] [-replication R]
+//	     [-vnodes N] [-probe-interval DUR] [-peer-timeout DUR]
 //
 // The API is mounted alongside the telemetry endpoints (/metrics,
 // /debug/vars, /debug/pprof). -trace turns on end-to-end request
@@ -17,6 +19,13 @@
 // appends the structured JSONL access/event log to FILE. On SIGTERM or
 // SIGINT the daemon stops admitting work, drains in-flight jobs for up
 // to -drain-timeout, then exits.
+//
+// -node-id plus -peers turn the daemon into one member of a static
+// cluster (see internal/cluster): fingerprints are routed on a
+// consistent-hash ring with -replication owners per key, result-cache
+// misses are filled from the owning peer, and per-peer health probes
+// evict dead peers from routing until they recover. The peer list must
+// be identical on every member and include this node's own ID.
 package main
 
 import (
@@ -27,14 +36,39 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faultinject"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
 )
+
+// parsePeers parses the -peers spec: "n1=http://h1:8347,n2=http://h2:8347".
+func parsePeers(spec string) (map[string]string, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("cluster mode needs -peers (ID=URL,ID=URL,...)")
+	}
+	peers := make(map[string]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("entry %q is not ID=URL", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate member ID %q", id)
+		}
+		peers[id] = url
+	}
+	return peers, nil
+}
 
 func main() {
 	os.Exit(run())
@@ -56,6 +90,12 @@ func run() int {
 	traceSlow := flag.Int("trace-slow", 0, "always keep the N slowest traces (0 = 64)")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of unremarkable traces to keep (0 = 0.1)")
 	slo := flag.Duration("slo", 0, "per-endpoint latency SLO for RED breach counters (0 = 500ms)")
+	nodeID := flag.String("node-id", "", "cluster member ID (requires -peers)")
+	peersSpec := flag.String("peers", "", "static cluster membership as ID=URL,ID=URL,... (must include -node-id)")
+	replication := flag.Int("replication", 0, "owners per ring key (0 = 2)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per member (0 = 64)")
+	probeInterval := flag.Duration("probe-interval", 0, "peer health probe cadence (0 = 500ms)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "per-attempt timeout on peer calls (0 = 2s)")
 	flag.Parse()
 
 	if *faults != "" {
@@ -104,10 +144,35 @@ func run() int {
 		SLOTarget:    *slo,
 	})
 
+	var node *cluster.Node
+	apiHandler := svc.Handler()
+	if *nodeID != "" || *peersSpec != "" {
+		peers, err := parsePeers(*peersSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigd: bad -peers:", err)
+			return 2
+		}
+		node, err = cluster.New(svc, cluster.Config{
+			NodeID:             *nodeID,
+			Peers:              peers,
+			Replication:        *replication,
+			VNodes:             *vnodes,
+			ProbeInterval:      *probeInterval,
+			PeerAttemptTimeout: *peerTimeout,
+			Events:             evlog,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigd:", err)
+			return 2
+		}
+		apiHandler = node.Handler()
+		fmt.Fprintf(os.Stderr, "aigd: cluster mode: node %s of %d members\n", *nodeID, len(peers))
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/", reg.Handler())
-	mux.Handle("/", svc.Handler())
+	mux.Handle("/", apiHandler)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -137,6 +202,9 @@ func run() int {
 	}
 	if err := srv.Shutdown(dctx); err != nil {
 		_ = srv.Close()
+	}
+	if node != nil {
+		node.Close()
 	}
 	svc.Close()
 	if evfile != nil {

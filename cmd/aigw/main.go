@@ -1,0 +1,147 @@
+// Command aigw is the cluster gateway CLI: it routes requests to a
+// clustered aigd deployment client-side along the same consistent-hash
+// ring the cluster uses, so calls land directly on the node that owns
+// (or has cached) the answer, with automatic failover to replicas.
+//
+// Usage:
+//
+//	aigw -peers ID=URL,ID=URL,... [-replication R] [-vnodes N]
+//	     [-timeout DUR] <command> [args]
+//
+// Commands:
+//
+//	submit FILE         upload an AIGER file (round-robin with failover),
+//	                    print its content-addressed view
+//	metrics FPA FPB [M1,M2,...]
+//	                    score a stored pair (routed to its ring owner),
+//	                    print the scores as JSON
+//	route FPA FPB       print the pair's owner node IDs, one per line,
+//	                    in preference order (no request is made)
+//	health              probe every node once; print per-node status
+//
+// The flags mirror the cluster's own -peers/-replication/-vnodes and
+// must match them: ring agreement between gateway and cluster is what
+// makes client-side routing land on the right node.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/service/client"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	peersSpec := flag.String("peers", "", "cluster membership as ID=URL,ID=URL,... (required)")
+	replication := flag.Int("replication", 0, "owners per ring key, must match the cluster (0 = 2)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per member, must match the cluster (0 = 64)")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall budget per command")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "aigw: need a command: submit | metrics | route | health")
+		return 2
+	}
+
+	peers := make(map[string]string)
+	for _, part := range strings.Split(*peersSpec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			fmt.Fprintf(os.Stderr, "aigw: bad -peers entry %q (want ID=URL)\n", part)
+			return 2
+		}
+		peers[id] = url
+	}
+	g, err := client.NewGateway(client.GatewayConfig{
+		Peers:       peers,
+		Replication: *replication,
+		VNodes:      *vnodes,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aigw:", err)
+		return 2
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "submit":
+		if len(rest) != 1 {
+			fmt.Fprintln(os.Stderr, "aigw: usage: submit FILE")
+			return 2
+		}
+		payload, err := os.ReadFile(rest[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigw:", err)
+			return 1
+		}
+		v, err := g.SubmitAIG(ctx, payload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigw:", err)
+			return 1
+		}
+		return printJSON(v)
+	case "metrics":
+		if len(rest) < 2 || len(rest) > 3 {
+			fmt.Fprintln(os.Stderr, "aigw: usage: metrics FPA FPB [M1,M2,...]")
+			return 2
+		}
+		var names []string
+		if len(rest) == 3 {
+			names = strings.Split(rest[2], ",")
+		}
+		scores, err := g.Metrics(ctx, rest[0], rest[1], names)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigw:", err)
+			return 1
+		}
+		return printJSON(scores)
+	case "route":
+		if len(rest) != 2 {
+			fmt.Fprintln(os.Stderr, "aigw: usage: route FPA FPB")
+			return 2
+		}
+		for _, id := range g.PairOwners(rest[0], rest[1]) {
+			fmt.Println(id)
+		}
+		return 0
+	case "health":
+		code := 0
+		status := g.Healthz(ctx)
+		for _, id := range g.Members() {
+			if err := status[id]; err != nil {
+				fmt.Printf("%s down: %v\n", id, err)
+				code = 1
+			} else {
+				fmt.Printf("%s ok\n", id)
+			}
+		}
+		return code
+	default:
+		fmt.Fprintf(os.Stderr, "aigw: unknown command %q\n", cmd)
+		return 2
+	}
+}
+
+func printJSON(v any) int {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "aigw:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// The chaos suite (run under `make chaos`, always with -race) proves
+// the tentpole's robustness claims against deterministic injected
+// faults: partitions mid-request, torn peer responses, replication
+// killed mid-fan-out, and eviction/re-admission timing. Every scenario
+// asserts the answer stays bit-identical to a standalone daemon — the
+// cluster is allowed to get slower under faults, never wrong.
+
+func resetFaults(t *testing.T) {
+	t.Helper()
+	faultinject.Disable()
+	faultinject.Reset()
+	t.Cleanup(func() {
+		faultinject.Disable()
+		faultinject.Reset()
+	})
+}
+
+// TestChaosPartitionMidRequestFailover: partitioning the pair's first
+// owner away from its peers must not change any answer. The fill fan
+// -out fails over to the replica inline (bounded by the transport
+// error, far under the request budget), probes then evict the dead
+// peer, and healing the partition re-admits it within a probe window.
+func TestChaosPartitionMidRequestFailover(t *testing.T) {
+	resetFaults(t)
+	aigA, aigB := testAIG(t, 11), testAIG(t, 12)
+	want := singleNodeScores(t, aigA, aigB, nil)
+
+	tc := newTestCluster(t, 3, nil)
+	a := tc.submit(tc.ids[0], aigA)
+	b := tc.submit(tc.ids[0], aigB)
+	owners, nonOwner := tc.pairRoles(a, b)
+
+	// Partition the first owner: all node-to-node traffic to it fails.
+	tc.trans.set(tc.hosts[owners[0]], true)
+
+	start := time.Now()
+	scores, _, err := tc.metrics(nonOwner, a, b, nil, nil)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("metrics during partition: %v", err)
+	}
+	assertBitIdentical(t, scores, want, "failover answer")
+	if elapsed > 5*time.Second {
+		t.Fatalf("failover took %v, want bounded well under the request budget", elapsed)
+	}
+
+	// Probes must evict the partitioned peer from every other node's
+	// routing table (FailureThreshold=2 at 25ms probes → well under 2s).
+	waitFor(t, 2*time.Second, "eviction of "+owners[0], func() bool {
+		return tc.nodes[nonOwner].table.IsDown(owners[0])
+	})
+
+	// Heal the partition: re-admission within a probe window.
+	tc.trans.set(tc.hosts[owners[0]], false)
+	waitFor(t, 2*time.Second, "re-admission of "+owners[0], func() bool {
+		return !tc.nodes[nonOwner].table.IsDown(owners[0])
+	})
+
+	// The re-admitted owner serves fills again: clear the non-owner's
+	// cache path by asking for a fresh pair routed to the same cluster.
+	scores, _, err = tc.metrics(nonOwner, a, b, nil, nil)
+	if err != nil {
+		t.Fatalf("metrics after re-admission: %v", err)
+	}
+	assertBitIdentical(t, scores, want, "post-readmission answer")
+}
+
+// TestChaosTornFillReply: a torn (truncated) fill response from the
+// first owner must be detected by the requester (JSON decode failure)
+// and failed over — the answer still arrives, still bit-identical.
+func TestChaosTornFillReply(t *testing.T) {
+	resetFaults(t)
+	aigA, aigB := testAIG(t, 13), testAIG(t, 14)
+	want := singleNodeScores(t, aigA, aigB, nil)
+
+	tc := newTestCluster(t, 3, nil)
+	a := tc.submit(tc.ids[0], aigA)
+	b := tc.submit(tc.ids[0], aigB)
+	_, nonOwner := tc.pairRoles(a, b)
+
+	faultinject.Arm(PointFillReply, faultinject.OnCall(1),
+		faultinject.Fault{Mode: faultinject.ModeTornWrite})
+	faultinject.Enable()
+
+	scores, _, err := tc.metrics(nonOwner, a, b, nil, nil)
+	if err != nil {
+		t.Fatalf("metrics with torn fill reply: %v", err)
+	}
+	assertBitIdentical(t, scores, want, "answer after torn reply")
+	if fires := faultinject.Fires(PointFillReply); fires != 1 {
+		t.Fatalf("torn-write fault fired %d times, want 1", fires)
+	}
+	if n := tc.reg.Counter("cluster/fill_failures").Value(); n < 1 {
+		t.Fatalf("fill_failures = %d, want >= 1 (the torn reply must count)", n)
+	}
+}
+
+// TestChaosKillMidReplication: killing AIG replication entirely must
+// not lose answers — peer fill inlines the AIGER payloads, so an owner
+// that never received the structures interns them on demand and the
+// replication repairs itself through the read path.
+func TestChaosKillMidReplication(t *testing.T) {
+	resetFaults(t)
+	aigA, aigB := testAIG(t, 15), testAIG(t, 16)
+	want := singleNodeScores(t, aigA, aigB, nil)
+
+	faultinject.Arm(PointReplicateAIG, faultinject.Always(),
+		faultinject.Fault{Mode: faultinject.ModeError})
+	faultinject.Enable()
+
+	tc := newTestCluster(t, 3, nil)
+	a := tc.submit(tc.ids[0], aigA)
+	b := tc.submit(tc.ids[0], aigB)
+	owners, nonOwner := tc.pairRoles(a, b)
+
+	scores, _, err := tc.metrics(nonOwner, a, b, nil, nil)
+	if err != nil {
+		t.Fatalf("metrics with replication dead: %v", err)
+	}
+	assertBitIdentical(t, scores, want, "answer with replication dead")
+
+	// Self-repair: the serving owner interned the inline payloads.
+	var repaired bool
+	for _, id := range owners {
+		if tc.svcs[id].HasAIG(a) && tc.svcs[id].HasAIG(b) {
+			repaired = true
+		}
+	}
+	if !repaired && !tc.svcs[nonOwner].HasAIG(a) {
+		t.Fatal("no owner holds the pair after a successful fill — inline repair failed")
+	}
+}
+
+// TestChaosDeadOwnerDegradedLocal: with EVERY owner of a pair dead, a
+// non-owner must still answer — degraded to a local compute — and the
+// answer is still bit-identical (scoring is location-independent).
+func TestChaosDeadOwnerDegradedLocal(t *testing.T) {
+	resetFaults(t)
+	aigA, aigB := testAIG(t, 17), testAIG(t, 18)
+	want := singleNodeScores(t, aigA, aigB, nil)
+
+	tc := newTestCluster(t, 3, nil)
+	a := tc.submit(tc.ids[0], aigA)
+	b := tc.submit(tc.ids[0], aigB)
+	owners, nonOwner := tc.pairRoles(a, b)
+	// The surviving node holds the structures itself (submitted before
+	// the owners die) — the scenario is "owners dead, data present",
+	// not "data lost".
+	tc.submit(nonOwner, aigA)
+	tc.submit(nonOwner, aigB)
+	for _, id := range owners {
+		tc.swaps[id].h.Store(&deadHandler)
+		tc.trans.set(tc.hosts[id], true)
+	}
+
+	tc.reg.Reset()
+	scores, _, err := tc.metrics(nonOwner, a, b, nil, nil)
+	if err != nil {
+		t.Fatalf("metrics with all owners dead: %v", err)
+	}
+	assertBitIdentical(t, scores, want, "degraded local answer")
+	if n := tc.reg.Counter("cluster/degraded_local_computes").Value(); n != 1 {
+		t.Fatalf("degraded_local_computes = %d, want 1", n)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", d, what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/faultinject"
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
+)
+
+// maxPeerBody bounds one peer request body: a fill request carries up
+// to two inline AIGER payloads, each bounded like an external submit.
+const maxPeerBody = 33 << 20
+
+// Handler mounts the cluster's peer-to-peer endpoints in front of the
+// service API; everything that is not /v1/cluster/* falls through to
+// the wrapped daemon handler unchanged.
+func (n *Node) Handler() http.Handler {
+	inner := n.svc.Handler()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/fill", n.peerGuard(n.handleFill))
+	mux.HandleFunc("POST /v1/cluster/aigs", n.peerGuard(n.handlePutAIG))
+	mux.HandleFunc("GET /v1/cluster/aigs/{fp}", n.peerGuard(n.handleGetAIGER))
+	mux.HandleFunc("POST /v1/cluster/result", n.peerGuard(n.handlePutResult))
+	mux.HandleFunc("GET /v1/cluster/health", n.peerGuard(n.handleHealth))
+	mux.Handle("/", inner)
+	return mux
+}
+
+// peerGuard is the cluster-endpoint analog of the service's request
+// guard: it adopts the requesting node's traceparent (or roots a fresh
+// trace) and echoes the trace identity, so a request that hops
+// gateway → node → owner stitches into one trace ID end to end.
+func (n *Node) peerGuard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		telemetry.Add("cluster/peer_requests", 1)
+		ctx := r.Context()
+		if sc, ok := trace.Extract(r.Header); ok {
+			ctx = trace.ContextWithRemote(ctx, sc)
+		}
+		ctx, sp := trace.Start(ctx, "cluster/peer_request")
+		sp.Attr("path", r.URL.Path).Attr("node", n.cfg.NodeID)
+		if sp != nil {
+			w.Header().Set(trace.TraceIDHeader, sp.Context().TraceID.String())
+			w.Header().Set("traceparent", trace.Traceparent(sp.Context()))
+		}
+		defer sp.End()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+func peerReply(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		telemetry.Add("cluster/write_errors", 1)
+	}
+}
+
+func peerError(w http.ResponseWriter, code int, format string, args ...any) {
+	telemetry.Add("cluster/http_errors", 1)
+	peerReply(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// internInline installs an inline fill payload if the fingerprint is
+// not already stored, verifying the payload actually hashes to the
+// fingerprint the requester claims — a torn or corrupted payload must
+// not be interned under the wrong key.
+func (n *Node) internInline(fp string, payload []byte) error {
+	if len(payload) == 0 || n.svc.HasAIG(fp) {
+		return nil
+	}
+	v, err := n.svc.InternAIGER(payload)
+	if err != nil {
+		return err
+	}
+	if v.Fingerprint != fp {
+		return fmt.Errorf("payload fingerprint %s does not match claimed %s", v.Fingerprint, fp)
+	}
+	return nil
+}
+
+// handleFill answers a peer's fill request: intern any inline
+// payloads, score through the full local path (cache, singleflight,
+// bounded pool), reply with the scores. The response body is routed
+// through the fill_reply fault point so chaos suites can serve torn
+// responses.
+func (n *Node) handleFill(w http.ResponseWriter, r *http.Request) {
+	var req client.FillRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPeerBody))
+	if err := dec.Decode(&req); err != nil {
+		peerError(w, http.StatusBadRequest, "decoding fill request: %v", err)
+		return
+	}
+	if err := n.internInline(req.A, req.AIGERA); err != nil {
+		peerError(w, http.StatusBadRequest, "interning %s: %v", req.A, err)
+		return
+	}
+	if err := n.internInline(req.B, req.AIGERB); err != nil {
+		peerError(w, http.StatusBadRequest, "interning %s: %v", req.B, err)
+		return
+	}
+	if !n.svc.HasAIG(req.A) || !n.svc.HasAIG(req.B) {
+		peerError(w, http.StatusNotFound, "pair (%s, %s) not fully stored here and no payload supplied", req.A, req.B)
+		return
+	}
+	scores, err := n.svc.ScorePairLocal(r.Context(), req.A, req.B, req.Metrics)
+	if err != nil {
+		if errors.Is(err, service.ErrBusy) {
+			w.Header().Set("Retry-After", "1")
+			peerError(w, http.StatusTooManyRequests, "saturated, retry later")
+			return
+		}
+		peerError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(client.FillResponse{Scores: scores}); err != nil {
+		peerError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if _, err := faultinject.WrapWriter(PointFillReply, w).Write(buf.Bytes()); err != nil {
+		telemetry.Add("cluster/write_errors", 1)
+	}
+}
+
+// handlePutAIG is the receive side of AIG replication: intern the
+// payload content-addressed (idempotent) without re-triggering the
+// intern observer — replication must not cascade.
+func (n *Node) handlePutAIG(w http.ResponseWriter, r *http.Request) {
+	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPeerBody))
+	if err != nil {
+		peerError(w, http.StatusBadRequest, "reading payload: %v", err)
+		return
+	}
+	v, err := n.svc.InternAIGER(payload)
+	if err != nil {
+		peerError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	peerReply(w, http.StatusOK, v)
+}
+
+// handleGetAIGER serves the canonical AIGER encoding of a stored
+// fingerprint to a peer doing on-demand AIG fetch.
+func (n *Node) handleGetAIGER(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	payload, err := n.svc.AIGERFor(fp)
+	if err != nil {
+		peerError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	peerReply(w, http.StatusOK, map[string][]byte{"aiger": payload})
+}
+
+// handlePutResult is the receive side of result replication: install
+// the scores in the local cache. Sound because scores are a pure
+// function of the pair — see service.FillPairCache.
+func (n *Node) handlePutResult(w http.ResponseWriter, r *http.Request) {
+	var req client.ResultPut
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPeerBody)).Decode(&req); err != nil {
+		peerError(w, http.StatusBadRequest, "decoding result: %v", err)
+		return
+	}
+	if req.A == "" || req.B == "" || len(req.Scores) == 0 {
+		peerError(w, http.StatusBadRequest, "result put needs a, b, and scores")
+		return
+	}
+	n.svc.FillPairCache(req.A, req.B, req.Scores)
+	telemetry.Add("cluster/results_received", 1)
+	peerReply(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleHealth reports this node's view of the cluster.
+func (n *Node) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	peerReply(w, http.StatusOK, n.healthSnapshot())
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// Peer health has two inputs feeding one consecutive-failure counter
+// per peer:
+//
+//   - the periodic prober below (raw /healthz probes, deliberately
+//     bypassing the client's retry/breaker machinery so probe cadence
+//     never depends on breaker cooldowns), which also folds in the
+//     client's breaker state — an open breaker is the symptom of a
+//     peer failing *real* traffic, and counts like a failed probe;
+//   - inline outcomes from fill and replication calls (peerFail /
+//     peerOK in cluster.go), so a peer dying under load is evicted
+//     within FailureThreshold failed requests even if the next probe
+//     tick is far away.
+//
+// Crossing FailureThreshold evicts the peer from the routing table
+// (ring ownership is untouched — replicas serve its ranges); the first
+// success re-admits it immediately. Both transitions are JSONL events.
+
+// probeLoop drives the prober until Close.
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			for _, id := range n.peerIDs {
+				n.probe(id)
+			}
+		}
+	}
+}
+
+// probe checks one peer once: liveness endpoint plus breaker fold.
+func (n *Node) probe(id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
+	defer cancel()
+	err := faultinject.HitCtx(ctx, PointProbe)
+	if err == nil {
+		err = n.peers[id].Healthz(ctx)
+	}
+	if err == nil {
+		if open := n.peers[id].OpenBreakers(); len(open) > 0 {
+			err = fmt.Errorf("open breakers: %v", open)
+		}
+	}
+	if err != nil {
+		telemetry.Add(n.pm[id].probeFailures, 1)
+		n.peerFail(id)
+		return
+	}
+	n.peerOK(id)
+}
+
+// peerFail records one failed interaction with a peer; crossing the
+// threshold evicts it from routing.
+func (n *Node) peerFail(id string) {
+	c := n.failures[id].Add(1)
+	if int(c) < n.cfg.FailureThreshold {
+		return
+	}
+	if n.table.SetDown(id, true) {
+		telemetry.Add(n.pm[id].evictions, 1)
+		telemetry.Add("cluster/peer_evictions", 1)
+		n.logPeerEvent("peer_down", id, int(c))
+	}
+}
+
+// peerOK records one successful interaction; a down peer is re-admitted
+// immediately.
+func (n *Node) peerOK(id string) {
+	n.failures[id].Store(0)
+	if n.table.SetDown(id, false) {
+		telemetry.Add(n.pm[id].readmissions, 1)
+		telemetry.Add("cluster/peer_readmissions", 1)
+		n.logPeerEvent("peer_up", id, 0)
+	}
+}
+
+func (n *Node) logPeerEvent(event, id string, failures int) {
+	if n.cfg.Events == nil {
+		return
+	}
+	n.cfg.Events.Log(event, map[string]any{
+		"node":     n.cfg.NodeID,
+		"peer":     id,
+		"failures": failures,
+	})
+}
+
+// healthView is the GET /v1/cluster/health answer.
+type healthView struct {
+	Node        string         `json:"node"`
+	Members     []string       `json:"members"`
+	Replication int            `json:"replication"`
+	Down        []string       `json:"down"`
+	Failures    map[string]int `json:"failures"`
+}
+
+func (n *Node) healthSnapshot() healthView {
+	v := healthView{
+		Node:        n.cfg.NodeID,
+		Members:     n.table.Ring().Members(),
+		Replication: n.table.Ring().Replication(),
+		Down:        n.table.Down(),
+		Failures:    make(map[string]int, len(n.peerIDs)),
+	}
+	if v.Down == nil {
+		v.Down = []string{}
+	}
+	sort.Strings(v.Down)
+	for _, id := range n.peerIDs {
+		v.Failures[id] = int(n.failures[id].Load())
+	}
+	return v
+}

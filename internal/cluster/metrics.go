@@ -1,0 +1,63 @@
+package cluster
+
+// Per-peer instrument names. Cardinality is bounded by the static
+// membership: every name is precomputed once in New (never built on a
+// hot path), and the suffix vocabulary is this fixed constant set —
+// aiglint's metricname analyzer checks that every peerMetricName call
+// site passes one of these constants.
+const (
+	peerMetricFills               = "fills"
+	peerMetricFillFailures        = "fill_failures"
+	peerMetricProbeFailures       = "probe_failures"
+	peerMetricEvictions           = "evictions"
+	peerMetricReadmissions        = "readmissions"
+	peerMetricReplications        = "replications"
+	peerMetricReplicationFailures = "replication_failures"
+)
+
+// peerInstruments holds one peer's precomputed counter names; hot
+// paths read these fields instead of formatting strings.
+type peerInstruments struct {
+	fills               string
+	fillFailures        string
+	probeFailures       string
+	evictions           string
+	readmissions        string
+	replications        string
+	replicationFailures string
+}
+
+func newPeerInstruments(id string) peerInstruments {
+	return peerInstruments{
+		fills:               peerMetricName(id, peerMetricFills),
+		fillFailures:        peerMetricName(id, peerMetricFillFailures),
+		probeFailures:       peerMetricName(id, peerMetricProbeFailures),
+		evictions:           peerMetricName(id, peerMetricEvictions),
+		readmissions:        peerMetricName(id, peerMetricReadmissions),
+		replications:        peerMetricName(id, peerMetricReplications),
+		replicationFailures: peerMetricName(id, peerMetricReplicationFailures),
+	}
+}
+
+// peerMetricName builds "cluster/peer_<id>_<suffix>". The suffix must
+// be one of the peerMetric constants (lint-enforced); the node ID is
+// flattened to the registry's snake_case convention.
+func peerMetricName(id, suffix string) string {
+	return "cluster/peer_" + flattenID(id) + "_" + suffix
+}
+
+// flattenID maps a node ID into a snake_case metric segment: ASCII
+// letters are lowercased, digits kept, everything else becomes '_'.
+func flattenID(id string) string {
+	b := []byte(id)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case c >= 'A' && c <= 'Z':
+			b[i] = c - 'A' + 'a'
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,273 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("n%d", i+1)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0, 0); err == nil {
+		t.Fatal("empty member list must be rejected")
+	}
+	if _, err := New([]string{"a", ""}, 0, 0); err == nil {
+		t.Fatal("empty member ID must be rejected")
+	}
+	r, err := New([]string{"b", "a", "b"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Members(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("members not sorted/deduplicated: %v", got)
+	}
+}
+
+// TestOwnersContract pins the basic lookup contract: R distinct owners,
+// deterministic across builds and member-list orderings, and identical
+// for the canonicalized pair key regardless of operand order.
+func TestOwnersContract(t *testing.T) {
+	ms := members(5)
+	r1, err := New(ms, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []string{"n4", "n2", "n5", "n1", "n3"}
+	r2, err := New(shuffled, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		o1, o2 := r1.Owners(key), r2.Owners(key)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("owner order depends on member-list order: %v vs %v", o1, o2)
+		}
+		if len(o1) != 3 {
+			t.Fatalf("want 3 owners, got %v", o1)
+		}
+		seen := map[string]bool{}
+		for _, m := range o1 {
+			if seen[m] {
+				t.Fatalf("duplicate owner in %v", o1)
+			}
+			seen[m] = true
+		}
+	}
+	if PairKey("b", "a") != PairKey("a", "b") {
+		t.Fatal("PairKey must canonicalize operand order")
+	}
+	if r1.Owner(PairKey("x", "y")) != r1.Owners(PairKey("y", "x"))[0] {
+		t.Fatal("pair owner must not depend on operand order")
+	}
+}
+
+// TestRingStability is the consistent-hashing property: growing the
+// cluster by one node may move only ~1/(N+1) of the keys' primary
+// owners, never reshuffle the space. The table pins the bound across
+// cluster sizes.
+func TestRingStability(t *testing.T) {
+	const keys = 10000
+	cases := []struct {
+		name   string
+		before int
+	}{
+		{"3_to_4", 3},
+		{"5_to_6", 5},
+		{"10_to_11", 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			small, err := New(members(tc.before), 128, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			big, err := New(members(tc.before+1), 128, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			added := fmt.Sprintf("n%d", tc.before+1)
+			moved := 0
+			for i := 0; i < keys; i++ {
+				key := fmt.Sprintf("fp-%08d", i)
+				a, b := small.Owner(key), big.Owner(key)
+				if a == b {
+					continue
+				}
+				// Consistent hashing only ever moves keys TO the added
+				// member; a key hopping between surviving members would
+				// invalidate every replica's cache on scale-out.
+				if b != added {
+					t.Fatalf("key %q moved %s→%s, not to the added member", key, a, b)
+				}
+				moved++
+			}
+			expected := keys / (tc.before + 1)
+			// 128 vnodes keeps the imbalance modest; allow 2× expected
+			// movement before calling the placement broken.
+			if moved > 2*expected {
+				t.Fatalf("adding one node moved %d/%d keys; want ≤ ~1/N ≈ %d (bound %d)",
+					moved, keys, expected, 2*expected)
+			}
+			if moved == 0 {
+				t.Fatal("adding a node moved nothing: the new member takes no load")
+			}
+		})
+	}
+}
+
+// TestBalance guards against gross virtual-node imbalance: no member
+// of a 5-node ring may own more than twice its fair share of primary
+// assignments.
+func TestBalance(t *testing.T) {
+	r, err := New(members(5), 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("fp-%08d", i))]++
+	}
+	fair := keys / 5
+	for m, n := range counts {
+		if n > 2*fair || n < fair/2 {
+			t.Fatalf("member %s owns %d/%d keys (fair share %d): vnode spread is broken", m, n, keys, fair)
+		}
+	}
+}
+
+// TestTableFailover pins the eviction semantics: a down owner's ranges
+// fail over to the next clockwise replicas, surviving assignments do
+// not move, and re-admission restores exactly the original owners.
+func TestTableFailover(t *testing.T) {
+	tab, err := NewTable(members(5), 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := map[string][]string{}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		before[key] = tab.Owners(key)
+	}
+	if !tab.SetDown("n2", true) {
+		t.Fatal("first eviction must report a change")
+	}
+	if tab.SetDown("n2", true) {
+		t.Fatal("re-evicting must be a no-op")
+	}
+	if got := tab.Down(); !reflect.DeepEqual(got, []string{"n2"}) {
+		t.Fatalf("Down() = %v", got)
+	}
+	for key, orig := range before {
+		owners := tab.Owners(key)
+		if len(owners) != 2 {
+			t.Fatalf("key %q: want 2 alive owners, got %v", key, owners)
+		}
+		for _, m := range owners {
+			if m == "n2" {
+				t.Fatalf("key %q still routed to evicted member: %v", key, owners)
+			}
+		}
+		// Surviving original owners keep their position (prefix order
+		// preserved, fail-over members appended after them).
+		want := 0
+		for _, m := range orig {
+			if m == "n2" {
+				continue
+			}
+			if owners[want] != m {
+				t.Fatalf("key %q: surviving owner %s displaced: before %v after %v", key, m, orig, owners)
+			}
+			want++
+		}
+	}
+	if !tab.SetDown("n2", false) {
+		t.Fatal("re-admission must report a change")
+	}
+	for key, orig := range before {
+		if got := tab.Owners(key); !reflect.DeepEqual(got, orig) {
+			t.Fatalf("key %q: re-admission did not restore ownership: before %v after %v", key, orig, got)
+		}
+	}
+}
+
+// TestTableConcurrentMembership is the -race stress: lookups stay
+// consistent (non-empty owner sets, never a down member) while other
+// goroutines continuously evict and re-admit nodes.
+func TestTableConcurrentMembership(t *testing.T) {
+	tab, err := NewTable(members(8), 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	// Mutators: two goroutines toggling disjoint member subsets, so at
+	// most 2 members are down at once and lookups always have owners.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := fmt.Sprintf("n%d", 1+4*g+r.Intn(4))
+				tab.SetDown(m, true)
+				tab.SetDown(m, false)
+			}
+		}(g)
+	}
+	// Lookups: owners must be non-empty and duplicate-free whatever the
+	// concurrent membership churn.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("fp-%d", r.Intn(4096))
+				owners := tab.Owners(key)
+				if len(owners) == 0 {
+					errc <- fmt.Errorf("key %q: no alive owners under churn", key)
+					return
+				}
+				seen := map[string]bool{}
+				for _, m := range owners {
+					if seen[m] {
+						errc <- fmt.Errorf("key %q: duplicate owner %v", key, owners)
+						return
+					}
+					seen[m] = true
+				}
+			}
+		}(g)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}

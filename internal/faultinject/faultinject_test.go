@@ -249,14 +249,14 @@ func TestArmFromSpecRejectsMalformed(t *testing.T) {
 	for _, bad := range []string{
 		"nomode",
 		"p=unknownmode",
-		"p=latency",          // latency without duration
-		"p=enospc@p0.5",      // probability without seed
-		"p=enospc@zero",      // unparsable trigger
-		"p=enospc@0",         // zero call index
-		"p=short:x",          // bad keep-bytes
-		"p=error:arg",        // argument on argless mode
-		"p=enospc@p1.5/1",    // probability out of range
-		"=enospc",            // empty point
+		"p=latency",       // latency without duration
+		"p=enospc@p0.5",   // probability without seed
+		"p=enospc@zero",   // unparsable trigger
+		"p=enospc@0",      // zero call index
+		"p=short:x",       // bad keep-bytes
+		"p=error:arg",     // argument on argless mode
+		"p=enospc@p1.5/1", // probability out of range
+		"=enospc",         // empty point
 	} {
 		Reset()
 		if err := ArmFromSpec(bad); err == nil {

@@ -88,9 +88,18 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 // removed; removal failures are counted and the first is returned
 // after the sweep finishes the remaining entries.
 func SweepAtomicTemps(dir string) (removed int, err error) {
+	names, err := SweepAtomicTempsList(dir)
+	return len(names), err
+}
+
+// SweepAtomicTempsList is SweepAtomicTemps reporting the removed
+// orphans by name (sorted — os.ReadDir order), so callers can put the
+// exact post-crash debris into an operator-auditable log instead of a
+// bare count.
+func SweepAtomicTempsList(dir string) (removed []string, err error) {
 	entries, rerr := os.ReadDir(dir)
 	if rerr != nil {
-		return 0, rerr
+		return nil, rerr
 	}
 	for _, e := range entries {
 		if e.IsDir() || !strings.Contains(e.Name(), atomicTempMark) {
@@ -103,8 +112,8 @@ func SweepAtomicTemps(dir string) (removed int, err error) {
 			}
 			continue
 		}
-		removed++
+		removed = append(removed, e.Name())
 	}
-	telemetry.Add("harness/orphan_temps_swept", int64(removed))
+	telemetry.Add("harness/orphan_temps_swept", int64(len(removed)))
 	return removed, err
 }

@@ -81,6 +81,10 @@ func DefaultConfig() *Config {
 			"repro/internal/telemetry/trace.A":            0,
 			"(repro/internal/telemetry/trace.Span).Attr":  0,
 			"(repro/internal/telemetry/trace.Span).Event": 0,
+			// Per-peer cluster instruments are assembled from a dynamic
+			// member ID plus a constant suffix; the suffix is the part
+			// that must stay snake_case and greppable.
+			"repro/internal/cluster.peerMetricName": 1,
 		},
 		MetricNamePattern: `^[a-z][a-z0-9_]*(/[a-z][a-z0-9_]*)*$`,
 		FaultPointFuncs: map[string]int{

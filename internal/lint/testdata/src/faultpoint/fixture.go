@@ -7,6 +7,7 @@ package fixture
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
@@ -28,9 +29,20 @@ func Clean(w io.Writer) error {
 	return err
 }
 
+// CleanCtx instruments a context-attributed point with a constant
+// name, one site — clean. The name argument sits at index 1.
+func CleanCtx(ctx context.Context) error {
+	return faultinject.HitCtx(ctx, "fixture/ctx_point")
+}
+
 // Dynamic builds the name at runtime — flagged.
 func Dynamic(kind string) error {
 	return faultinject.Hit("fixture/" + kind)
+}
+
+// DynamicCtx builds a context-attributed name at runtime — flagged.
+func DynamicCtx(ctx context.Context, kind string) error {
+	return faultinject.HitCtx(ctx, "fixture/"+kind)
 }
 
 // Formatted builds the name with Sprintf — flagged.

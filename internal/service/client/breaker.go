@@ -73,6 +73,21 @@ func (b *breaker) allow() error {
 	}
 }
 
+// open reports whether the breaker is currently refusing requests:
+// within an open cooldown, or half-open with its single probe already
+// in flight.
+func (b *breaker) open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return b.now().Sub(b.openedAt) < b.cooldown
+	case breakerHalfOpen:
+		return b.probing
+	}
+	return false
+}
+
 // report records the outcome of an allowed request.
 func (b *breaker) report(success bool) {
 	b.mu.Lock()

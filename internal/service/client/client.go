@@ -34,6 +34,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -56,6 +57,14 @@ type Config struct {
 	// MaxAttempts bounds tries per call, first attempt included
 	// (default 4).
 	MaxAttempts int
+	// AttemptTimeout, when positive, bounds each individual HTTP
+	// attempt separately from the overall ctx deadline. Without it a
+	// single stalled peer eats the caller's whole budget before any
+	// retry or failover can happen; with it a slow attempt is cut off,
+	// counted as retryable, and the remaining budget goes to the next
+	// attempt (or, in cluster routing, the next replica). Default 0 =
+	// off; the cluster's peer path always sets it.
+	AttemptTimeout time.Duration
 	// BaseBackoff and MaxBackoff shape the capped exponential backoff:
 	// attempt n sleeps a full-jitter draw from
 	// [0, min(MaxBackoff, BaseBackoff·2ⁿ)) (defaults 100ms and 5s).
@@ -270,13 +279,22 @@ func isAPIError(err error) bool {
 
 // attempt performs one HTTP round trip. retryable reports whether the
 // failure is worth another attempt; hint carries the daemon's
-// Retry-After, when present.
+// Retry-After, when present. A configured AttemptTimeout bounds this
+// attempt alone: its expiry is a retryable service failure (the peer
+// is slow), judged against the caller's ctx — only the caller's own
+// cancellation is terminal.
 func (c *Client) attempt(ctx context.Context, method, path, contentType string, body []byte, idemKey string, out any) (retryable bool, hint time.Duration, err error) {
+	actx := ctx
+	if c.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+		defer cancel()
+	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
 	if err != nil {
 		return false, 0, err
 	}
@@ -444,6 +462,45 @@ func (c *Client) Report(ctx context.Context, a, b string, flows, metrics []strin
 		return "", err
 	}
 	return acc.ID, nil
+}
+
+// Healthz probes the daemon's liveness endpoint once, without retries
+// or backoff — transport failure or a non-2xx answer returns
+// immediately. Probe loops (cluster health checking) call this on a
+// schedule; routing its failures through the retry/breaker machinery
+// would make probe cadence depend on breaker cooldowns.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return &APIError{Status: resp.StatusCode, Message: "healthz"}
+	}
+	return nil
+}
+
+// OpenBreakers returns the (sorted) endpoints whose circuit breaker is
+// currently refusing requests. The cluster layer folds this into peer
+// health: an open breaker is the client-side symptom of a degraded
+// peer, so routing evicts the peer instead of paying a cooldown per
+// call.
+func (c *Client) OpenBreakers() []string {
+	var open []string
+	c.breakers.Range(func(k, v any) bool {
+		if v.(*breaker).open() {
+			open = append(open, k.(string))
+		}
+		return true
+	})
+	sort.Strings(open)
+	return open
 }
 
 // Job polls a job once.

@@ -1,0 +1,87 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// This file is the wire surface of cluster peer-to-peer traffic. The
+// types are shared with internal/cluster's handlers (the cluster
+// imports this package for its per-peer clients), so both sides of
+// every peer conversation marshal the same struct — there is no second
+// copy of the wire contract to drift.
+
+// FillRequest asks a pair's ring owner for its scores. The AIGER
+// payloads ride along so an owner that has not yet received the
+// structures (replication raced the request, or the owner restarted)
+// can intern them and still answer — peer fill doubles as lazy
+// replication repair. encoding/json carries []byte as base64.
+type FillRequest struct {
+	A       string   `json:"a"`
+	B       string   `json:"b"`
+	Metrics []string `json:"metrics,omitempty"`
+	AIGERA  []byte   `json:"aiger_a,omitempty"`
+	AIGERB  []byte   `json:"aiger_b,omitempty"`
+}
+
+// FillResponse carries the owner's scores for a FillRequest.
+type FillResponse struct {
+	Scores map[string]float64 `json:"scores"`
+}
+
+// ResultPut replicates one computed pair result to a replica's cache.
+type ResultPut struct {
+	A      string             `json:"a"`
+	B      string             `json:"b"`
+	Scores map[string]float64 `json:"scores"`
+}
+
+// ClusterFill asks a peer (the pair's owner) to resolve a fill
+// request, retrying and breaker-gating like any other endpoint.
+func (c *Client) ClusterFill(ctx context.Context, req FillRequest) (map[string]float64, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp FillResponse
+	if err := c.do(ctx, "cluster_fill", http.MethodPost, "/v1/cluster/fill", "application/json", body, "", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Scores, nil
+}
+
+// ClusterGetAIGER fetches the canonical AIGER encoding of a stored
+// fingerprint from a peer — the read side of on-demand AIG fetch: a
+// node asked about a fingerprint it never received pulls the structure
+// from a peer before scoring.
+func (c *Client) ClusterGetAIGER(ctx context.Context, fp string) ([]byte, error) {
+	var p struct {
+		AIGER []byte `json:"aiger"`
+	}
+	if err := c.do(ctx, "cluster_aigs", http.MethodGet, "/v1/cluster/aigs/"+fp, "", nil, "", &p); err != nil {
+		return nil, err
+	}
+	return p.AIGER, nil
+}
+
+// ClusterPutAIG replicates an AIGER payload to a peer. Interning is
+// content-addressed, so replaying a replication is idempotent.
+func (c *Client) ClusterPutAIG(ctx context.Context, aiger []byte) (service.AIGView, error) {
+	var v service.AIGView
+	err := c.do(ctx, "cluster_aigs", http.MethodPost, "/v1/cluster/aigs", "application/octet-stream", aiger, "", &v)
+	return v, err
+}
+
+// ClusterPutResult replicates a computed pair result to a peer's
+// cache. Safe to replay: scores are a pure function of the pair, so a
+// duplicate put installs the identical value.
+func (c *Client) ClusterPutResult(ctx context.Context, a, b string, scores map[string]float64) error {
+	body, err := json.Marshal(ResultPut{A: a, B: b, Scores: scores})
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, "cluster_result", http.MethodPost, "/v1/cluster/result", "application/json", body, "", nil)
+}

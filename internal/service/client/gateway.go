@@ -1,0 +1,199 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster/ring"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// GatewayConfig sizes a Gateway: the static cluster membership plus a
+// per-peer client template.
+type GatewayConfig struct {
+	// Peers maps node ID → base URL for every cluster member. The IDs
+	// must match the -node-id each aigd was started with — they are
+	// the consistent-hash ring's member names, so gateway-side routing
+	// agrees with server-side ownership.
+	Peers map[string]string
+	// Replication and VNodes must match the cluster's flags (defaults
+	// ring.DefaultReplication and ring.DefaultVNodes).
+	Replication int
+	VNodes      int
+	// Client is the per-peer client template; BaseURL is overridden
+	// per peer. Leave AttemptTimeout set (default 2s) so one stalled
+	// node cannot eat a request's whole budget before failover.
+	Client Config
+}
+
+// DefaultGatewayAttemptTimeout bounds one attempt against one node on
+// the gateway path when the template does not say otherwise.
+const DefaultGatewayAttemptTimeout = 2 * time.Second
+
+// Gateway is the client-side routing mode for a clustered aigd: it
+// holds one resilient Client per node and routes each call along the
+// same consistent-hash ring the cluster itself uses, so a request for
+// a pair usually lands directly on the node that owns (or has cached)
+// the answer — no server-side peer hop needed. A failed owner fails
+// over to the next replica, then to any remaining node (every node can
+// serve every request via its own peer-fill path; routing is a latency
+// optimization, never a correctness requirement).
+type Gateway struct {
+	ring    *ring.Ring
+	ids     []string // sorted member IDs
+	clients map[string]*Client
+	rr      atomic.Uint64 // submit round-robin cursor
+}
+
+// NewGateway builds a Gateway over the static membership.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("client: GatewayConfig.Peers is required")
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		ids = append(ids, id)
+	}
+	r, err := ring.New(ids, cfg.VNodes, cfg.Replication)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Client.AttemptTimeout <= 0 {
+		cfg.Client.AttemptTimeout = DefaultGatewayAttemptTimeout
+	}
+	g := &Gateway{ring: r, ids: r.Members(), clients: make(map[string]*Client, len(ids))}
+	for _, id := range g.ids {
+		ccfg := cfg.Client
+		ccfg.BaseURL = cfg.Peers[id]
+		c, err := New(ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("client: peer %s: %w", id, err)
+		}
+		g.clients[id] = c
+	}
+	return g, nil
+}
+
+// Members returns the sorted node IDs.
+func (g *Gateway) Members() []string { return g.ids }
+
+// Client returns the per-node client, for callers that need to pin a
+// specific node (job polling must go back to the node that accepted
+// the job — jobs live in one node's memory, they are not replicated).
+func (g *Gateway) Client(id string) (*Client, bool) {
+	c, ok := g.clients[id]
+	return c, ok
+}
+
+// PairOwners returns the nodes owning a pair's result, in preference
+// order — the routing decision Metrics makes, exposed for operators
+// (aigw route) and tests.
+func (g *Gateway) PairOwners(fpA, fpB string) []string {
+	return g.ring.Owners(ring.PairKey(fpA, fpB))
+}
+
+// candidatesFor builds the failover order for a pair: ring owners
+// first, every remaining node after them.
+func (g *Gateway) candidatesFor(fpA, fpB string) []string {
+	owners := g.PairOwners(fpA, fpB)
+	out := make([]string, 0, len(g.ids))
+	out = append(out, owners...)
+	inOwners := make(map[string]bool, len(owners))
+	for _, id := range owners {
+		inOwners[id] = true
+	}
+	for _, id := range g.ids {
+		if !inOwners[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// failover reports whether an error from one node justifies trying the
+// next: everything except a definitive contract refusal (4xx other
+// than 429) does. A 404/400 means the cluster understood the request
+// and said no — asking another replica would only repeat the answer.
+func failover(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusTooManyRequests || ae.Status >= 500
+	}
+	return true // transport failure, breaker open, ctx-independent exhaustion
+}
+
+// tryEach runs call against each candidate in order until one
+// succeeds, failing over on retryable outcomes and counting each hop.
+func (g *Gateway) tryEach(ctx context.Context, candidates []string, call func(c *Client) error) error {
+	var lastErr error
+	for i, id := range candidates {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("gateway: %w (last failure: %v)", err, lastErr)
+			}
+			return err
+		}
+		err := call(g.clients[id])
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !failover(err) {
+			return err
+		}
+		if i+1 < len(candidates) {
+			telemetry.Add("client/gateway_failovers", 1)
+		}
+	}
+	return fmt.Errorf("gateway: all %d nodes failed: %w", len(candidates), lastErr)
+}
+
+// SubmitAIG uploads an AIGER payload to the cluster. The receiving
+// node (round-robin over members, with failover) interns it and
+// replicates it to the structure's ring owners server-side.
+func (g *Gateway) SubmitAIG(ctx context.Context, aiger []byte) (service.AIGView, error) {
+	start := int(g.rr.Add(1)-1) % len(g.ids)
+	candidates := make([]string, 0, len(g.ids))
+	for i := 0; i < len(g.ids); i++ {
+		candidates = append(candidates, g.ids[(start+i)%len(g.ids)])
+	}
+	var v service.AIGView
+	err := g.tryEach(ctx, candidates, func(c *Client) error {
+		view, err := c.SubmitAIG(ctx, aiger)
+		if err == nil {
+			v = view
+		}
+		return err
+	})
+	return v, err
+}
+
+// Metrics scores a stored pair, routed by fingerprint to the pair's
+// ring owner; a dead or saturated owner fails over to its replicas and
+// then to the rest of the cluster.
+func (g *Gateway) Metrics(ctx context.Context, a, b string, metrics []string) (map[string]float64, error) {
+	var scores map[string]float64
+	err := g.tryEach(ctx, g.candidatesFor(a, b), func(c *Client) error {
+		s, err := c.Metrics(ctx, a, b, metrics)
+		if err == nil {
+			scores = s
+		}
+		return err
+	})
+	return scores, err
+}
+
+// Healthz probes every node once and returns the per-node outcome
+// (nil = healthy).
+func (g *Gateway) Healthz(ctx context.Context) map[string]error {
+	out := make(map[string]error, len(g.ids))
+	for _, id := range g.ids {
+		out[id] = g.clients[id].Healthz(ctx)
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package client
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// gwFixture is a 3-node fixture for gateway tests: three independent
+// daemons (no server-side clustering — the gateway is being tested, not
+// the cluster), each behind a request counter and a kill switch.
+type gwFixture struct {
+	g      *Gateway
+	counts map[string]*atomic.Int64
+	dead   map[string]*atomic.Bool
+	reg    *telemetry.Registry
+}
+
+func newGatewayFixture(t *testing.T) *gwFixture {
+	t.Helper()
+	reg := telemetry.Enable()
+	reg.Reset()
+	fx := &gwFixture{
+		counts: make(map[string]*atomic.Int64),
+		dead:   make(map[string]*atomic.Bool),
+		reg:    reg,
+	}
+	peers := make(map[string]string)
+	for _, id := range []string{"n1", "n2", "n3"} {
+		svc := service.New(service.Config{Workers: 2})
+		cnt, dead := &atomic.Int64{}, &atomic.Bool{}
+		inner := svc.Handler()
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if dead.Load() {
+				conn, _, err := w.(http.Hijacker).Hijack()
+				if err == nil {
+					conn.Close() // torn connection, like a killed process
+				}
+				return
+			}
+			cnt.Add(1)
+			inner.ServeHTTP(w, r)
+		}))
+		t.Cleanup(func() {
+			ts.Close()
+			svc.Close()
+		})
+		peers[id] = ts.URL
+		fx.counts[id], fx.dead[id] = cnt, dead
+	}
+	g, err := NewGateway(GatewayConfig{
+		Peers:  peers,
+		Client: Config{MaxAttempts: 1, AttemptTimeout: 5 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.g = g
+	return fx
+}
+
+// seedAll interns the same AIGER on every node directly (the fixture
+// has no server-side replication) and returns its fingerprint.
+func (fx *gwFixture) seedAll(t *testing.T, aiger []byte) string {
+	t.Helper()
+	var fp string
+	for _, id := range fx.g.Members() {
+		c, ok := fx.g.Client(id)
+		if !ok {
+			t.Fatalf("no client for %s", id)
+		}
+		v, err := c.SubmitAIG(context.Background(), aiger)
+		if err != nil {
+			t.Fatalf("seed %s: %v", id, err)
+		}
+		fp = v.Fingerprint
+	}
+	return fp
+}
+
+// TestGatewayRoutesToOwner: a metrics call must land on the pair's
+// first ring owner, and repeated calls must keep landing there — the
+// routing is deterministic, so the owner's result cache is the one that
+// warms up.
+func TestGatewayRoutesToOwner(t *testing.T) {
+	fx := newGatewayFixture(t)
+	a := fx.seedAll(t, testAIG(t, 1))
+	b := fx.seedAll(t, testAIG(t, 2))
+	for id := range fx.counts {
+		fx.counts[id].Store(0)
+	}
+
+	owners := fx.g.PairOwners(a, b)
+	if len(owners) != 2 {
+		t.Fatalf("owners = %v, want replication 2", owners)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := fx.g.Metrics(context.Background(), a, b, []string{"VEO"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fx.counts[owners[0]].Load(); got != 3 {
+		t.Fatalf("owner %s served %d/3 metrics calls", owners[0], got)
+	}
+	for _, id := range fx.g.Members() {
+		if id != owners[0] && fx.counts[id].Load() != 0 {
+			t.Fatalf("non-owner %s served %d calls", id, fx.counts[id].Load())
+		}
+	}
+}
+
+// TestGatewayFailover: killing the pair's owner must not change the
+// answer — the gateway fails over to the replica and the scores are
+// bit-identical, because every node derives profiles from the same
+// structural fingerprints.
+func TestGatewayFailover(t *testing.T) {
+	fx := newGatewayFixture(t)
+	a := fx.seedAll(t, testAIG(t, 3))
+	b := fx.seedAll(t, testAIG(t, 4))
+
+	before, err := fx.g.Metrics(context.Background(), a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := fx.g.PairOwners(a, b)
+	fx.dead[owners[0]].Store(true)
+
+	after, err := fx.g.Metrics(context.Background(), a, b, nil)
+	if err != nil {
+		t.Fatalf("metrics with dead owner: %v", err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("metric sets diverged: %d vs %d", len(after), len(before))
+	}
+	for name, want := range before {
+		got, ok := after[name]
+		if !ok || math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("%s: replica answered %v (%#x), owner answered %v (%#x)",
+				name, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+	if n := fx.reg.Counter("client/gateway_failovers").Value(); n < 1 {
+		t.Fatalf("gateway_failovers = %d, want >= 1", n)
+	}
+
+	// Re-admission: the node comes back and serves again.
+	fx.dead[owners[0]].Store(false)
+	fx.counts[owners[0]].Store(0)
+	if _, err := fx.g.Metrics(context.Background(), a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if fx.counts[owners[0]].Load() == 0 {
+		t.Fatalf("revived owner %s never saw traffic again", owners[0])
+	}
+}
+
+// TestGatewaySubmitFailover: round-robin submission must skip a dead
+// node and still intern on a live one.
+func TestGatewaySubmitFailover(t *testing.T) {
+	fx := newGatewayFixture(t)
+	fx.dead["n2"].Store(true)
+	for i := 0; i < 4; i++ {
+		if _, err := fx.g.SubmitAIG(context.Background(), testAIG(t, int64(10+i))); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+}
+
+// TestGatewayNoFailoverOnContract: a definitive 404 is the cluster's
+// answer, not a node failure — the gateway must return it immediately
+// instead of asking every replica the same question.
+func TestGatewayNoFailoverOnContract(t *testing.T) {
+	fx := newGatewayFixture(t)
+	for id := range fx.counts {
+		fx.counts[id].Store(0)
+	}
+	_, err := fx.g.Metrics(context.Background(), "fp-missing-a", "fp-missing-b", []string{"VEO"})
+	if err == nil {
+		t.Fatal("expected 404 for unknown fingerprints")
+	}
+	var total int64
+	for _, c := range fx.counts {
+		total += c.Load()
+	}
+	if total != 1 {
+		t.Fatalf("a contract 404 reached %d nodes, want exactly 1", total)
+	}
+}

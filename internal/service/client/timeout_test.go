@@ -1,0 +1,104 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/service"
+)
+
+// TestClientAttemptTimeout is the regression test for the per-attempt
+// timeout: a single stalled node must cost one attempt's budget, not
+// the caller's whole deadline. The first request is stalled server-side
+// by an injected latency fault far longer than the attempt timeout; the
+// client must abandon that attempt at AttemptTimeout, retry under the
+// still-live parent context, and succeed on the clean second attempt —
+// all in a small fraction of the injected stall.
+func TestClientAttemptTimeout(t *testing.T) {
+	defer func() {
+		faultinject.Disable()
+		faultinject.Reset()
+	}()
+	_, ts, _ := newDaemon(t, service.Config{Workers: 2})
+	c, _ := newClient(t, Config{
+		BaseURL:        ts.URL,
+		MaxAttempts:    3,
+		AttemptTimeout: 150 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	a, err := c.SubmitAIG(ctx, testAIG(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.SubmitAIG(ctx, testAIG(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall only the next cache lookup — the first metrics attempt hangs
+	// for 20s, every later attempt runs clean.
+	const stall = 20 * time.Second
+	faultinject.Reset()
+	faultinject.Arm(service.PointCacheGet, faultinject.OnCall(1),
+		faultinject.Fault{Mode: faultinject.ModeLatency, Latency: stall})
+	faultinject.Enable()
+
+	start := time.Now()
+	scores, err := c.Metrics(ctx, a.Fingerprint, b.Fingerprint, []string{"VEO"})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("metrics after stalled attempt: %v", err)
+	}
+	if _, ok := scores["VEO"]; !ok {
+		t.Fatalf("metrics missing VEO: %v", scores)
+	}
+	if fires := faultinject.Fires(service.PointCacheGet); fires != 1 {
+		t.Fatalf("latency fault fired %d times, want exactly 1", fires)
+	}
+	// The attempt timeout, not the parent deadline, must have cut the
+	// stalled attempt loose: well under the 20s stall.
+	if elapsed >= stall/2 {
+		t.Fatalf("took %v: attempt timeout did not preempt the %v stall", elapsed, stall)
+	}
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("parent context burned: %v", err)
+	}
+}
+
+// TestClientAttemptTimeoutOff pins the default: with AttemptTimeout
+// zero the per-attempt context is the caller's context, so a deadline
+// shorter than a server stall surfaces as the caller's own expiry.
+func TestClientAttemptTimeoutOff(t *testing.T) {
+	defer func() {
+		faultinject.Disable()
+		faultinject.Reset()
+	}()
+	_, ts, _ := newDaemon(t, service.Config{Workers: 2})
+	c, _ := newClient(t, Config{BaseURL: ts.URL, MaxAttempts: 2})
+	a, err := c.SubmitAIG(context.Background(), testAIG(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.SubmitAIG(context.Background(), testAIG(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Reset()
+	faultinject.Arm(service.PointCacheGet, faultinject.Always(),
+		faultinject.Fault{Mode: faultinject.ModeLatency, Latency: 5 * time.Second})
+	faultinject.Enable()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := c.Metrics(ctx, a.Fingerprint, b.Fingerprint, []string{"VEO"}); err == nil {
+		t.Fatal("expected failure against a fully stalled daemon")
+	}
+	if ctx.Err() == nil {
+		t.Fatal("without AttemptTimeout the caller's deadline should have expired")
+	}
+}

@@ -332,6 +332,12 @@ func (s *Server) handleSubmitAIG(w http.ResponseWriter, r *http.Request) {
 	e, known := s.store.put(g.Cleanup())
 	ispan.Attr("fingerprint", e.fp).Attr("known", known)
 	ispan.End()
+	if s.onIntern != nil {
+		// Cluster mode: hand the submission to the replication layer
+		// (it fans out asynchronously; the response does not wait on
+		// peers).
+		s.onIntern(r.Context(), viewOf(e, known))
+	}
 	reply(w, http.StatusOK, viewOf(e, known))
 }
 
@@ -357,11 +363,11 @@ func (s *Server) handleGetAIG(w http.ResponseWriter, r *http.Request) {
 func (s *Server) resolvePair(fpA, fpB string) (ea, eb *storedAIG, err error) {
 	ea, ok := s.store.get(fpA)
 	if !ok {
-		return nil, nil, fmt.Errorf("unknown fingerprint %q (submit it via POST /v1/aigs first)", fpA)
+		return nil, nil, fmt.Errorf("%w %q (submit it via POST /v1/aigs first)", ErrUnknownFingerprint, fpA)
 	}
 	eb, ok = s.store.get(fpB)
 	if !ok {
-		return nil, nil, fmt.Errorf("unknown fingerprint %q (submit it via POST /v1/aigs first)", fpB)
+		return nil, nil, fmt.Errorf("%w %q (submit it via POST /v1/aigs first)", ErrUnknownFingerprint, fpB)
 	}
 	return ea, eb, nil
 }
@@ -388,31 +394,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		replyError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ea, eb, err := s.resolvePair(req.A, req.B)
-	if err != nil {
-		replyError(w, http.StatusNotFound, "%v", err)
-		return
-	}
 	ctx := r.Context()
 	var scores map[string]float64
-	var serr error
-	// The queue-wait span covers trySubmit through the worker picking
-	// the task up — the time this request spent waiting for capacity.
-	_, qspan := trace.Start(ctx, "service/queue_wait")
-	err = s.pool.run(ctx, func() {
-		qspan.End()
-		scores, serr = s.pairScores(ctx, ea, eb, metrics)
-	})
+	if s.pairRouter != nil {
+		// Cluster mode: the router owns the whole resolution — local
+		// store (fetching missing AIGs from their ring owners), local
+		// cache, peer fill from the pair's owner, or a (pooled) local
+		// compute. Saturation anywhere on that path sheds like a local
+		// full queue would, and a cluster-wide store miss answers 404
+		// like a local one would.
+		names := make([]string, len(metrics))
+		for i, m := range metrics {
+			names[i] = m.Name
+		}
+		scores, err = s.pairRouter(ctx, req.A, req.B, names)
+	} else {
+		var ea, eb *storedAIG
+		ea, eb, err = s.resolvePair(req.A, req.B)
+		if err != nil {
+			replyError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		scores, err = s.scorePairPooled(ctx, ea, eb, metrics)
+	}
 	if err != nil {
-		qspan.Fail(err).End()
-		s.replyPoolError(w, r, err)
+		if errors.Is(err, ErrUnknownFingerprint) {
+			replyError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		if errors.Is(err, ErrBusy) || ctx.Err() != nil {
+			s.replyPoolError(w, r, err)
+			return
+		}
+		replyError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	if serr != nil {
-		replyError(w, http.StatusInternalServerError, "%v", serr)
-		return
-	}
-	reply(w, http.StatusOK, metricsResponse{A: ea.fp, B: eb.fp, Scores: scores})
+	reply(w, http.StatusOK, metricsResponse{A: req.A, B: req.B, Scores: scores})
 }
 
 // handleMetricsBatch scores every unordered pair among n submitted
@@ -507,7 +524,7 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 // client disconnect (context cancellation) is counted and logged with
 // 499-style semantics (the client is gone; any status is unread).
 func (s *Server) replyPoolError(w http.ResponseWriter, r *http.Request, err error) {
-	if errors.Is(err, errBusy) {
+	if errors.Is(err, ErrBusy) {
 		s.shed(w, r)
 		return
 	}

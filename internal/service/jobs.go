@@ -201,7 +201,7 @@ func (m *jobManager) submit(ctx, rctx context.Context, p *pool, kind, idemKey st
 		jspan.End()
 	})
 	if !ok {
-		qspan.Fail(errBusy)
+		qspan.Fail(ErrBusy)
 		qspan.End()
 		m.inflight.Done()
 		cancel()
@@ -211,7 +211,7 @@ func (m *jobManager) submit(ctx, rctx context.Context, p *pool, kind, idemKey st
 			delete(m.idem, idemKey)
 		}
 		m.mu.Unlock()
-		return nil, false, errBusy
+		return nil, false, ErrBusy
 	}
 	telemetry.Add("service/jobs_submitted", 1)
 	return j, false, nil

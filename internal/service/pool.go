@@ -10,12 +10,14 @@ import (
 	"repro/internal/telemetry"
 )
 
-// errBusy is returned when the worker queue or an endpoint's admission
-// budget is full; the HTTP layer turns it into 429 + Retry-After.
-var errBusy = errors.New("service: saturated, retry later")
+// ErrBusy is returned when the worker queue or an endpoint's admission
+// budget is full; the HTTP layer turns it into 429 + Retry-After. It
+// is exported so the cluster layer can propagate saturation from a
+// routed compute back to the shed path instead of mislabeling it 500.
+var ErrBusy = errors.New("service: saturated, retry later")
 
 // PointPoolSubmit is the fault-injection point on pool intake: a
-// firing schedule forces the shed path (errBusy → 429 + Retry-After)
+// firing schedule forces the shed path (ErrBusy → 429 + Retry-After)
 // exactly as a genuinely full queue would, which is how the chaos
 // suite saturates a daemon deterministically.
 const PointPoolSubmit = "service/pool_submit"
@@ -65,12 +67,12 @@ func (p *pool) trySubmit(ctx context.Context, t func()) bool {
 }
 
 // run executes f on the pool and waits for it (or for ctx). A full
-// queue returns errBusy immediately. On ctx expiry the task may still
+// queue returns ErrBusy immediately. On ctx expiry the task may still
 // execute later; the caller must not read f's results after an error.
 func (p *pool) run(ctx context.Context, f func()) error {
 	done := make(chan struct{})
 	if !p.trySubmit(ctx, func() { defer close(done); f() }) {
-		return errBusy
+		return ErrBusy
 	}
 	select {
 	case <-done:

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/harness"
@@ -23,24 +24,33 @@ import (
 //     restarts.
 //
 // Both sweeps are counted (service/orphan_temps_swept,
-// service/orphan_spills_swept) so operators can see crash debris in
-// the metrics instead of discovering it on a full disk. The directory
-// is created if missing — a daemon pointed at a fresh -spill-dir must
-// not fail its first spill. Sweep errors degrade the sweep, never the
-// daemon: the first is returned for logging and counted.
-func RecoverSpillDir(spillDir string) (temps, spills int, err error) {
+// service/orphan_spills_swept), and when an event logger is supplied
+// the sweep emits one byte-stable "spill_recovery" JSONL line naming
+// every quarantined temp and deleted spill (sorted), so operators can
+// audit exactly what post-crash state the daemon cleaned up instead of
+// reconstructing it from counters. The directory is created if missing
+// — a daemon pointed at a fresh -spill-dir must not fail its first
+// spill. Sweep errors degrade the sweep, never the daemon: the first
+// is returned for logging and counted.
+func RecoverSpillDir(spillDir string, events *telemetry.EventLogger) (temps, spills int, err error) {
 	if mkErr := os.MkdirAll(spillDir, 0o755); mkErr != nil {
 		telemetry.Add("service/recovery_errors", 1)
 		return 0, 0, mkErr
 	}
-	temps, err = harness.SweepAtomicTemps(spillDir)
+	errCount := 0
+	tempNames, err := harness.SweepAtomicTempsList(spillDir)
+	if err != nil {
+		errCount++
+	}
+	var spillNames []string
 	entries, rerr := os.ReadDir(spillDir)
 	if rerr != nil {
 		telemetry.Add("service/recovery_errors", 1)
 		if err == nil {
 			err = rerr
 		}
-		return temps, 0, err
+		logRecovery(events, spillDir, tempNames, nil, errCount+1)
+		return len(tempNames), 0, err
 	}
 	for _, e := range entries {
 		name := e.Name()
@@ -49,13 +59,39 @@ func RecoverSpillDir(spillDir string) (temps, spills int, err error) {
 		}
 		if rmErr := os.Remove(filepath.Join(spillDir, name)); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
 			telemetry.Add("service/recovery_errors", 1)
+			errCount++
 			if err == nil {
 				err = rmErr
 			}
 			continue
 		}
-		spills++
+		spillNames = append(spillNames, name)
 	}
-	telemetry.Add("service/orphan_spills_swept", int64(spills))
-	return temps, spills, err
+	telemetry.Add("service/orphan_spills_swept", int64(len(spillNames)))
+	logRecovery(events, spillDir, tempNames, spillNames, errCount)
+	return len(tempNames), len(spillNames), err
+}
+
+// logRecovery emits the post-crash audit line. Names are sorted so the
+// same debris always serializes to the same bytes (the EventLogger
+// already orders the keys); a clean startup still logs the line —
+// "nothing was recovered" is itself an auditable fact.
+func logRecovery(events *telemetry.EventLogger, dir string, temps, spills []string, errCount int) {
+	if events == nil {
+		return
+	}
+	sort.Strings(temps)
+	sort.Strings(spills)
+	if temps == nil {
+		temps = []string{}
+	}
+	if spills == nil {
+		spills = []string{}
+	}
+	events.Log("spill_recovery", map[string]any{
+		"dir":             dir,
+		"recovered_temps": temps,
+		"deleted_spills":  spills,
+		"errors":          errCount,
+	})
 }

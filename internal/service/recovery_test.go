@@ -1,0 +1,76 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestRecoverSpillDirAuditEvent pins the operator-facing audit line:
+// one byte-stable JSONL "spill_recovery" event naming every
+// quarantined temp and deleted spill, sorted, with unrelated files
+// untouched.
+func TestRecoverSpillDirAuditEvent(t *testing.T) {
+	dir := t.TempDir()
+	debris := []string{
+		"job-zz.json.atomictmp-42", // torn atomic spill write
+		"report.csv.atomictmp-7",   // torn atomic CSV write
+		"job-dead1.json",           // stale spill of a dead process
+		"job-dead0.json",
+	}
+	for _, name := range debris {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "keep.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	ev := telemetry.NewEventLogger(&buf)
+	temps, spills, err := RecoverSpillDir(dir, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temps != 2 || spills != 2 {
+		t.Fatalf("temps=%d spills=%d, want 2 and 2", temps, spills)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "keep.txt")); err != nil {
+		t.Fatalf("sweep touched an unrelated file: %v", err)
+	}
+
+	line := regexp.MustCompile(`"ts":"[^"]*"`).ReplaceAllString(buf.String(), `"ts":"T"`)
+	want := `{"ts":"T","event":"spill_recovery",` +
+		`"deleted_spills":["job-dead0.json","job-dead1.json"],` +
+		`"dir":` + string(mustJSON(t, dir)) + `,` +
+		`"errors":0,` +
+		`"recovered_temps":["job-zz.json.atomictmp-42","report.csv.atomictmp-7"]}` + "\n"
+	if line != want {
+		t.Fatalf("audit line diverges:\n got: %s\nwant: %s", line, want)
+	}
+
+	// A clean startup still logs — absence of debris is auditable too.
+	buf.Reset()
+	if _, _, err := RecoverSpillDir(dir, ev); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"deleted_spills":[],`)) ||
+		!bytes.Contains(buf.Bytes(), []byte(`"recovered_temps":[]}`)) {
+		t.Fatalf("clean sweep must log empty lists, got: %s", buf.String())
+	}
+}
+
+func mustJSON(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -125,6 +125,12 @@ type Server struct {
 	jobsAdm    admission
 	red        *redSet
 
+	// pairRouter and onIntern, when set (SetClusterHooks), splice the
+	// cluster layer into the scoring and submission paths. Written
+	// before the handler serves, read-only afterwards.
+	pairRouter PairRouter
+	onIntern   InternObserver
+
 	baseCtx  context.Context
 	baseStop context.CancelFunc
 	draining atomic.Bool
@@ -144,7 +150,7 @@ func New(cfg Config) *Server {
 	if cfg.SpillDir != "" {
 		// Sweep failure is not startup failure: the daemon still serves,
 		// the recovery_errors counter records the degradation.
-		_, _, _ = RecoverSpillDir(cfg.SpillDir)
+		_, _, _ = RecoverSpillDir(cfg.SpillDir, cfg.Events)
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{

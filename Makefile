@@ -1,8 +1,9 @@
 # Test tiers. tier1 is the seed gate (must always stay green); tier2
 # adds static analysis — go vet plus the domain lint suite (aiglint:
 # AIG-literal discipline, emission determinism, dropped errors, metric
-# names, ResponseWriter write errors) — and the race detector over the
-# concurrency-safe telemetry
+# names, ResponseWriter write errors, fault-point naming, and the
+# concurrency-safety layer: lockheld, ctxflow, golifecycle, atomicmix)
+# — and the race detector over the concurrency-safe telemetry
 # layer and everything it instruments, including the fault-tolerance
 # suite (checkpoint/resume byte-identity, panic quarantine, equivalence
 # guards) in internal/harness.
@@ -15,8 +16,11 @@ tier1:
 tier2:
 	go vet ./... && go run ./cmd/aiglint ./... && go test -race ./...
 
-# lint runs only the domain analyzers, verbosely (finding and
-# suppression counts). Findings exit nonzero with file:line positions.
+# lint runs only the domain analyzers, verbosely (finding counts,
+# suppression counts, and per-analyzer timings — the ten analyzers run
+# concurrently over one shared go/types load, so the whole module
+# checks in seconds). Findings exit nonzero with file:line positions.
+# Machine consumers (CI annotations) use `aiglint -json` instead.
 lint:
 	go run ./cmd/aiglint -v ./...
 

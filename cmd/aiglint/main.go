@@ -3,12 +3,15 @@
 // invariants the compiler cannot see — AIG-literal encoding discipline
 // (rawlit), byte-identical result emission (determinism), error-
 // handling hygiene (droppederr), telemetry name stability
-// (metricname), and http.ResponseWriter write-error discipline
-// (httpwrite).
+// (metricname), http.ResponseWriter write-error discipline (httpwrite),
+// fault-point naming (faultpoint), and the concurrency-safety layer:
+// locks held across blocking operations (lockheld), severed context
+// chains (ctxflow), fire-and-forget goroutines (golifecycle), and mixed
+// atomic/plain access (atomicmix).
 //
 // Usage:
 //
-//	aiglint [-run a,b] [-list] [-v] [packages...]
+//	aiglint [-run a,b] [-list] [-v] [-json] [packages...]
 //
 // Packages default to ./... resolved against the enclosing module.
 // Exit status is 1 when any diagnostic survives, 2 on usage or load
@@ -17,22 +20,42 @@
 //	//lint:ignore <analyzer> <reason>
 //
 // on the offending line or the line above it.
+//
+// With -json each finding is one JSON object per line on stdout —
+// {"analyzer","file","line","col","message","suppressed"} — including
+// the findings silenced by //lint:ignore (suppressed true), so CI can
+// turn survivors into annotations and auditors can list what the
+// directives cover. The exit status still reflects only unsuppressed
+// findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
 
+// jsonDiagnostic is the -json wire shape of one finding.
+type jsonDiagnostic struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	var (
-		run  = flag.String("run", "", "comma-separated analyzer subset (default all)")
-		list = flag.Bool("list", false, "list analyzers and exit")
-		verb = flag.Bool("v", false, "print analyzed package count and suppression stats")
+		run      = flag.String("run", "", "comma-separated analyzer subset (default all)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		verb     = flag.Bool("v", false, "print per-analyzer timings and suppression stats")
+		jsonMode = flag.Bool("json", false, "emit one JSON object per finding (including suppressed) instead of text")
 	)
 	flag.Parse()
 
@@ -71,13 +94,40 @@ func main() {
 	if *verb {
 		fmt.Fprintf(os.Stderr, "aiglint: %d packages, %d analyzers, %d findings, %d suppressed\n",
 			len(prog.Packages), len(analyzers), len(res.Diagnostics), res.Suppressed)
-	}
-	for _, d := range res.Diagnostics {
-		rel := d
-		if strings.HasPrefix(rel.Pos.Filename, prog.ModuleDir+string(os.PathSeparator)) {
-			rel.Pos.Filename = rel.Pos.Filename[len(prog.ModuleDir)+1:]
+		for _, t := range res.Timings {
+			fmt.Fprintf(os.Stderr, "aiglint: %-12s %s\n", t.Name, t.Elapsed.Round(10*time.Microsecond))
 		}
-		fmt.Println(rel.String())
+	}
+	relName := func(name string) string {
+		if strings.HasPrefix(name, prog.ModuleDir+string(os.PathSeparator)) {
+			return name[len(prog.ModuleDir)+1:]
+		}
+		return name
+	}
+	if *jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		emit := func(ds []lint.Diagnostic, suppressed bool) {
+			for _, d := range ds {
+				if err := enc.Encode(jsonDiagnostic{
+					Analyzer:   d.Analyzer,
+					File:       relName(d.Pos.Filename),
+					Line:       d.Pos.Line,
+					Col:        d.Pos.Column,
+					Message:    d.Message,
+					Suppressed: suppressed,
+				}); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		emit(res.Diagnostics, false)
+		emit(res.SuppressedDiagnostics, true)
+	} else {
+		for _, d := range res.Diagnostics {
+			rel := d
+			rel.Pos.Filename = relName(rel.Pos.Filename)
+			fmt.Println(rel.String())
+		}
 	}
 	if len(res.Diagnostics) > 0 {
 		os.Exit(1)

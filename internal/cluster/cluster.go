@@ -149,9 +149,14 @@ type Node struct {
 
 	fills fillGroup
 
-	stop     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	// baseCtx is the node-lifetime context: every background activity —
+	// health probes, replication fan-outs — derives from it, so Close
+	// (which cancels it) bounds all of them instead of waiting out their
+	// individual timeouts.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	stopOnce   sync.Once
+	wg         sync.WaitGroup
 }
 
 // New wires a Node around svc: it installs the cluster hooks (pair
@@ -180,8 +185,9 @@ func New(svc *service.Server, cfg Config) (*Node, error) {
 		peers:    make(map[string]*client.Client, len(ids)-1),
 		pm:       make(map[string]peerInstruments, len(ids)-1),
 		failures: make(map[string]*atomic.Int64, len(ids)-1),
-		stop:     make(chan struct{}),
 	}
+	//lint:ignore ctxflow the node base context is the member-lifetime root, canceled in Close — probes and replication derive from it
+	n.baseCtx, n.baseCancel = context.WithCancel(context.Background())
 	n.fills.calls = make(map[string]*fillCall)
 	for _, id := range table.Ring().Members() {
 		if id == cfg.NodeID {
@@ -209,9 +215,12 @@ func New(svc *service.Server, cfg Config) (*Node, error) {
 	return n, nil
 }
 
-// Close stops the prober and waits for in-flight replication fan-outs.
+// Close cancels the node-lifetime context — stopping the prober and
+// aborting any in-flight replication fan-out — and waits for every
+// background goroutine to exit. Shutdown latency is bounded by RPC
+// cancellation, not by ReplicationTimeout.
 func (n *Node) Close() {
-	n.stopOnce.Do(func() { close(n.stop) })
+	n.stopOnce.Do(n.baseCancel)
 	n.wg.Wait()
 }
 
@@ -345,12 +354,14 @@ func (n *Node) replicateResult(ctx context.Context, fpA, fpB string, scores map[
 	}
 	// Detach from the request's cancellation but keep its trace
 	// identity: replication spans stitch to the originating request.
+	// The fan-out stays bounded by the node lifetime — Close cancels it.
 	rctx := context.WithoutCancel(ctx)
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
 		rctx, cancel := context.WithTimeout(rctx, n.cfg.ReplicationTimeout)
 		defer cancel()
+		defer context.AfterFunc(n.baseCtx, cancel)()
 		if err := faultinject.HitCtx(rctx, PointReplicateResult); err != nil {
 			telemetry.Add("cluster/replication_failures", 1)
 			return
@@ -384,12 +395,15 @@ func (n *Node) onIntern(ctx context.Context, v service.AIGView) {
 	if err != nil {
 		return
 	}
+	// Detached from the request, bounded by the node lifetime (Close
+	// cancels it) — same discipline as replicateResult.
 	rctx := context.WithoutCancel(ctx)
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
 		rctx, cancel := context.WithTimeout(rctx, n.cfg.ReplicationTimeout)
 		defer cancel()
+		defer context.AfterFunc(n.baseCtx, cancel)()
 		if err := faultinject.HitCtx(rctx, PointReplicateAIG); err != nil {
 			telemetry.Add("cluster/replication_failures", 1)
 			return

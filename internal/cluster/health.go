@@ -34,7 +34,7 @@ func (n *Node) probeLoop() {
 	defer t.Stop()
 	for {
 		select {
-		case <-n.stop:
+		case <-n.baseCtx.Done():
 			return
 		case <-t.C:
 			for _, id := range n.peerIDs {
@@ -44,9 +44,11 @@ func (n *Node) probeLoop() {
 	}
 }
 
-// probe checks one peer once: liveness endpoint plus breaker fold.
+// probe checks one peer once: liveness endpoint plus breaker fold. The
+// probe derives from the node-lifetime context, so a peer that stops
+// answering mid-probe cannot delay Close past RPC cancellation.
 func (n *Node) probe(id string) {
-	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
+	ctx, cancel := context.WithTimeout(n.baseCtx, n.cfg.ProbeTimeout)
 	defer cancel()
 	err := faultinject.HitCtx(ctx, PointProbe)
 	if err == nil {
@@ -58,6 +60,9 @@ func (n *Node) probe(id string) {
 		}
 	}
 	if err != nil {
+		if n.baseCtx.Err() != nil {
+			return // probe aborted by Close, not by the peer
+		}
 		telemetry.Add(n.pm[id].probeFailures, 1)
 		n.peerFail(id)
 		return

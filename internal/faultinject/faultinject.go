@@ -274,6 +274,9 @@ func Hit(name string) error {
 }
 
 func hitSlow(name string) error {
+	// Hit is the context-free entry point by contract; HitCtx is the
+	// attributed path.
+	//lint:ignore ctxflow Hit's signature is deliberately context-free — injected delays must fire on schedule even on paths with no request context
 	return hitSlowCtx(context.Background(), name)
 }
 

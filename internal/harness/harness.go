@@ -190,6 +190,7 @@ func specSeed(base int64, parts ...string) int64 {
 
 // Run executes the experiment without cancellation.
 func Run(cfg Config) (*Result, error) {
+	//lint:ignore ctxflow compatibility wrapper whose documented contract is "without cancellation"; cancelable callers use RunContext
 	return RunContext(context.Background(), cfg)
 }
 

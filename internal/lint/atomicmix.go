@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMixAnalyzer enforces atomic-access discipline at field
+// granularity, program-wide:
+//
+//  1. A variable (struct field or package-level var) that is accessed
+//     through a sync/atomic function anywhere — atomic.AddInt64(&s.n),
+//     atomic.LoadUint64(&hits) — must never be read or written plainly
+//     anywhere else. A single plain `s.n++` next to an atomic reader is
+//     a data race the race detector only catches when the schedule
+//     cooperates; under the repo's reproduction contract it is silent
+//     nondeterminism. (Composite-literal field keys are exempt: zero-
+//     value construction happens before the value is shared. Fields of
+//     the typed atomic kinds — atomic.Int64, atomic.Pointer[T], … —
+//     are enforced by their types and need no analysis; prefer them.)
+//
+//  2. A payload obtained from (atomic.Pointer[T]).Load or
+//     (atomic.Value).Load must not be mutated: atomic pointers publish
+//     immutable snapshots, and writing through a loaded pointer races
+//     with every other reader of the same snapshot. Mutating a field
+//     or element of (or assigning through) a Load result is flagged;
+//     the sanctioned pattern is copy-on-write: clone, mutate the
+//     clone, Store the clone.
+var AtomicMixAnalyzer = &Analyzer{
+	Name:         "atomicmix",
+	Doc:          "flags plain access to variables used atomically elsewhere, and mutation of atomic.Pointer/Value payloads",
+	Run:          runAtomicMix,
+	WholeProgram: true,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: every variable whose address is taken into a sync/atomic
+	// call, with the blessed &x selector/ident nodes that form the call.
+	atomicVars := map[*types.Var]token.Pos{} // var -> first atomic site
+	blessed := map[ast.Node]bool{}           // operand nodes inside atomic calls
+	for _, pkg := range pass.Prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true // methods on typed atomics are type-enforced
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					v := varOf(pkg.Info, un.X)
+					if v == nil {
+						continue
+					}
+					blessed[ast.Unparen(un.X)] = true
+					if _, seen := atomicVars[v]; !seen {
+						atomicVars[v] = un.X.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: plain accesses to those variables anywhere in the program.
+	type finding struct {
+		pos token.Pos
+		v   *types.Var
+	}
+	var findings []finding
+	// A selector's Sel ident resolves to the same object as the selector
+	// itself; parents are visited before children, so marking each Sel as
+	// covered prevents one access from being reported twice (and keeps
+	// blessed operands' Sel idents silent too).
+	coveredSel := map[ast.Node]bool{}
+	visit := func(info *types.Info, n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			coveredSel[sel.Sel] = true
+		}
+		if coveredSel[n] {
+			return true
+		}
+		if v, at, ok := plainAccess(info, n, atomicVars, blessed); ok {
+			findings = append(findings, finding{at, v})
+		}
+		return true
+	}
+	for _, pkg := range pass.Prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if kv, ok := n.(*ast.KeyValueExpr); ok {
+					// Composite-literal construction: visit the value,
+					// skip the field-name key.
+					ast.Inspect(kv.Value, func(vn ast.Node) bool {
+						return visit(pkg.Info, vn)
+					})
+					return false
+				}
+				return visit(pkg.Info, n)
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		pass.Reportf(f.pos,
+			"%s is accessed plainly here but atomically at %s: mixed access is a data race — route every access through sync/atomic, or migrate the field to a typed atomic (atomic.Int64, atomic.Pointer)",
+			f.v.Name(), pass.posString(atomicVars[f.v]))
+	}
+
+	// Pass 3: mutations of atomic.Pointer/Value payloads, per function.
+	graph := pass.Prog.graph(pass.Config)
+	for _, node := range graph.sortedNodes() {
+		checkLoadedPayloadMutation(pass, node)
+	}
+	return nil
+}
+
+// varOf resolves an expression to the *types.Var it names (a selector's
+// field or a plain identifier's variable), or nil.
+func varOf(info *types.Info, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// plainAccess reports whether n is an unblessed access to a variable in
+// atomicVars.
+func plainAccess(info *types.Info, n ast.Node, atomicVars map[*types.Var]token.Pos, blessed map[ast.Node]bool) (*types.Var, token.Pos, bool) {
+	expr, ok := n.(ast.Expr)
+	if !ok {
+		return nil, token.NoPos, false
+	}
+	switch expr.(type) {
+	case *ast.SelectorExpr, *ast.Ident:
+	default:
+		return nil, token.NoPos, false
+	}
+	if blessed[expr] {
+		return nil, token.NoPos, false
+	}
+	v := varOf(info, expr)
+	if v == nil {
+		return nil, token.NoPos, false
+	}
+	if _, ok := atomicVars[v]; !ok {
+		return nil, token.NoPos, false
+	}
+	return v, expr.Pos(), true
+}
+
+// checkLoadedPayloadMutation flags writes through values loaded from
+// atomic.Pointer/atomic.Value within one function body.
+func checkLoadedPayloadMutation(pass *Pass, node *funcNode) {
+	info := node.pkg.Info
+	loaded := map[types.Object]token.Pos{} // v := p.Load() results
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || fn.Name() != "Load" {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			if ident, ok := ast.Unparen(lhs).(*ast.Ident); ok && ident.Name != "_" {
+				if obj := info.Defs[ident]; obj != nil {
+					loaded[obj] = call.Pos()
+				} else if obj := info.Uses[ident]; obj != nil {
+					loaded[obj] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if len(loaded) == 0 {
+		return
+	}
+	fname := QualifiedName(node.fn)
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Tok == token.DEFINE {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			obj, via := writeTargetRoot(info, lhs)
+			if obj == nil || !via {
+				continue
+			}
+			if at, ok := loaded[obj]; ok {
+				pass.Reportf(lhs.Pos(),
+					"mutation through %s, loaded from an atomic pointer at %s, in %s: published payloads are shared snapshots — copy, mutate the copy, and Store the copy instead",
+					obj.Name(), pass.posString(at), fname)
+			}
+		}
+		return true
+	})
+}
+
+// writeTargetRoot resolves an assignment LHS to its root object and
+// whether the write goes *through* the root (selector, index, or
+// dereference) rather than rebinding the variable itself.
+func writeTargetRoot(info *types.Info, lhs ast.Expr) (types.Object, bool) {
+	via := false
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			via = true
+			lhs = e.X
+		case *ast.IndexExpr:
+			via = true
+			lhs = e.X
+		case *ast.StarExpr:
+			via = true
+			lhs = e.X
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				return obj, via
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}

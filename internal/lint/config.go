@@ -35,6 +35,24 @@ type Config struct {
 
 	// FaultPointPattern validates constant fault point names.
 	FaultPointPattern string
+
+	// WithoutCancelAllow lists qualified function names permitted to
+	// call context.WithoutCancel. Detaching work from its caller's
+	// cancellation is an invariant change; each entry is an audited
+	// decision (see ctxflow.go).
+	WithoutCancelAllow []string
+
+	// GoLifecycleRoots are regular expressions over qualified function
+	// names. Every `go` statement statically reachable from a matching
+	// root must carry a lifecycle edge: a WaitGroup join, a context
+	// reference, or a channel signal (see golifecycle.go).
+	GoLifecycleRoots []string
+
+	// DetachedGoroutines lists qualified function names whose goroutines
+	// are deliberately fire-and-forget: either the spawning function or
+	// the spawned named function. Each entry is an audited exception to
+	// the golifecycle rule.
+	DetachedGoroutines []string
 }
 
 // DefaultConfig returns the repository's production lint configuration.
@@ -94,5 +112,28 @@ func DefaultConfig() *Config {
 			"repro/internal/faultinject.WrapWriter": 0,
 		},
 		FaultPointPattern: `^[a-z][a-z0-9_]*(/[a-z][a-z0-9_]*)*$`,
+		WithoutCancelAllow: []string{
+			// Replication and intern fan-out outlive the triggering
+			// request on purpose (a canceled client must not abort a
+			// half-replicated write); both are bounded by the node
+			// lifetime via baseCtx instead.
+			"(repro/internal/cluster.Node).replicateResult",
+			"(repro/internal/cluster.Node).onIntern",
+		},
+		GoLifecycleRoots: []string{
+			// The serving surface: daemon/CLI entry points, the service
+			// layer, and the cluster node. Goroutines reachable from
+			// these must be joinable or cancelable, or Drain/Close leak
+			// live work.
+			`^repro/cmd/`,
+			`^repro/internal/service\.`,
+			`^repro/internal/cluster\.`,
+		},
+		DetachedGoroutines: []string{
+			// Registry.Serve hands the listener loop to net/http; its
+			// lifecycle is owned by the *http.Server (Shutdown/Close),
+			// not by a channel or WaitGroup visible at the spawn site.
+			"(repro/internal/telemetry.Registry).Serve",
+		},
 	}
 }

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxFlowAnalyzer protects the cancellation guarantees the harness
+// (PR 2) and the cluster (PR 7) depend on: every convergence loop,
+// peer round trip, and singleflight wait must be abortable from the
+// request that started it, or SIGTERM drains and client deadlines stop
+// meaning anything. Three rules, all summary-driven (callgraph.go):
+//
+//  1. context.Background()/context.TODO() is flagged outside package
+//     main: minting a fresh root context severs the caller's
+//     cancellation chain. Inside a function that already receives a
+//     context.Context the message is sharper — the ctx to thread is
+//     right there. Legitimate roots (compatibility wrappers, daemon
+//     base contexts) carry a //lint:ignore rationale, which is the
+//     audit trail.
+//
+//  2. context.WithoutCancel detaches work from its caller on purpose;
+//     every such site must be listed in Config.WithoutCancelAllow.
+//     The allowlist names the enclosing function, so a new detachment
+//     point is a config diff reviewed like any invariant change.
+//
+//  3. A function that receives a ctx but calls a module-internal
+//     function that (per its summary) blocks on an unbounded wait —
+//     channel ops, network, sleeps, WaitGroup/Cond waits — without the
+//     callee accepting a context is flagged: that wait is outside the
+//     cancellation domain. Deferred calls are exempt (cleanup blocks
+//     briefly by design); file I/O and fault points don't trigger this
+//     rule (they are bounded by the disk, not by another goroutine).
+var CtxFlowAnalyzer = &Analyzer{
+	Name:         "ctxflow",
+	Doc:          "flags severed context chains: Background/TODO outside main, unaudited WithoutCancel, and uncancellable blocking calls from ctx-carrying functions",
+	Run:          runCtxFlow,
+	WholeProgram: true,
+}
+
+func runCtxFlow(pass *Pass) error {
+	graph := pass.Prog.graph(pass.Config)
+	allow := map[string]bool{}
+	for _, name := range pass.Config.WithoutCancelAllow {
+		allow[name] = true
+	}
+	for _, node := range graph.sortedNodes() {
+		checkCtxFlow(pass, graph, node, allow)
+	}
+	return nil
+}
+
+func checkCtxFlow(pass *Pass, graph *callGraph, node *funcNode, withoutCancelAllow map[string]bool) {
+	info := node.pkg.Info
+	fname := QualifiedName(node.fn)
+	isMain := node.pkg.Types.Name() == "main"
+	hasCtx := node.summary != nil && node.summary.hasCtxParam
+
+	// Positions inside deferred calls are exempt from rule 3.
+	var deferRanges [][2]int
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferRanges = append(deferRanges, [2]int{int(d.Pos()), int(d.End())})
+		}
+		return true
+	})
+	inDefer := func(pos int) bool {
+		for _, r := range deferRanges {
+			if pos >= r[0] && pos <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		switch QualifiedName(fn) {
+		case "context.Background", "context.TODO":
+			switch {
+			case hasCtx:
+				pass.Reportf(call.Pos(),
+					"call to %s in %s, which already receives a context.Context: minting a fresh root severs the caller's cancellation chain — thread the ctx parameter instead",
+					fn.Name(), fname)
+			case !isMain:
+				pass.Reportf(call.Pos(),
+					"call to %s in %s outside package main: accept a context.Context from the caller so this work stays cancelable (legitimate roots carry a //lint:ignore rationale)",
+					fn.Name(), fname)
+			}
+			return true
+		case "context.WithoutCancel":
+			if !withoutCancelAllow[fname] {
+				pass.Reportf(call.Pos(),
+					"context.WithoutCancel in %s is not in the audited allowlist (Config.WithoutCancelAllow): detaching from the caller's cancellation is an invariant change — audit it or derive from the caller's ctx",
+					fname)
+			}
+			return true
+		}
+		if !hasCtx {
+			return true
+		}
+		callee := graph.nodes[fn]
+		if callee == nil || callee.summary == nil {
+			return true
+		}
+		sum := callee.summary
+		if !sum.blocks.unboundedWait() || sum.hasCtxParam {
+			return true
+		}
+		if inDefer(int(call.Pos())) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s receives a context.Context but calls %s, which blocks on %s and accepts no context: the wait cannot be canceled — thread the ctx into the callee (first blocking site: %s)",
+			fname, QualifiedName(fn), sum.blocks.String(), pass.posString(sum.firstSite.pos))
+		return true
+	})
+}

@@ -20,6 +20,12 @@ import (
 //   - time.Now / time.Since (wall-clock leaks into results), and
 //   - the global math/rand source (unseeded, process-global state).
 //
+// The analysis crosses `go`-statement boundaries: a goroutine spawned
+// inside a determinism root (a `go func() {...}()` literal or a
+// statically resolved `go helper()`) is itself a root — a parallelized
+// emission path inherits the full reproducibility contract, and the
+// diagnostics name the spawn so the parallel structure is visible.
+//
 // The call graph is static: calls through function values, struct
 // fields, and interfaces are not followed, so keep emission paths free
 // of such indirection or extend the root set.
@@ -42,7 +48,7 @@ func runDeterminism(pass *Pass) error {
 	if len(roots) == 0 {
 		return nil
 	}
-	graph := buildCallGraph(pass.Prog)
+	graph := pass.Prog.graph(pass.Config)
 
 	// Seed the worklist with every function matching a root pattern.
 	var worklist []*funcNode
@@ -88,17 +94,44 @@ func runDeterminism(pass *Pass) error {
 	return nil
 }
 
-// checkDeterminism scans one reachable function body.
+// checkDeterminism scans one reachable function body. Constructs inside
+// a goroutine spawned here (a `go func(){...}()` literal) are reported
+// with the spawn named: the goroutine is a determinism root of its own,
+// so parallelizing an emission path cannot silently shed the contract.
+// (`go helper()` spawns are covered by the call-graph BFS — the GoStmt's
+// call is a static edge like any other.)
 func checkDeterminism(pass *Pass, node *funcNode, root string) {
 	info := node.pkg.Info
-	name := QualifiedName(node.fn)
+	baseName := QualifiedName(node.fn)
+
+	// Ranges of function-literal bodies spawned by go statements: a
+	// finding inside one is attributed to the goroutine, not just the
+	// enclosing function.
+	var goLits []*ast.FuncLit
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				goLits = append(goLits, lit)
+			}
+		}
+		return true
+	})
+	nameAt := func(pos token.Pos) string {
+		for _, lit := range goLits {
+			if lit.Body.Pos() <= pos && pos <= lit.Body.End() {
+				return "goroutine spawned in " + baseName
+			}
+		}
+		return baseName
+	}
+
 	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
 		switch s := n.(type) {
 		case *ast.RangeStmt:
 			if isMapType(info.TypeOf(s.X)) && !orderInsensitiveBody(info, s.Body) {
 				pass.Reportf(s.Pos(),
 					"map iteration over %s with an order-sensitive body in %s (reachable from emission root %s): iterate sorted keys to keep emitted results byte-identical",
-					types.ExprString(s.X), name, root)
+					types.ExprString(s.X), nameAt(s.Pos()), root)
 				return false
 			}
 		case *ast.CallExpr:
@@ -107,12 +140,12 @@ func checkDeterminism(pass *Pass, node *funcNode, root string) {
 				case "time.Now", "time.Since":
 					pass.Reportf(s.Pos(),
 						"call to %s in %s (reachable from emission root %s): wall-clock values make emitted results irreproducible",
-						q, name, root)
+						q, nameAt(s.Pos()), root)
 				default:
 					if fn.Pkg() != nil && isGlobalRandFunc(fn) {
 						pass.Reportf(s.Pos(),
 							"call to %s in %s (reachable from emission root %s): the global math/rand source is not seeded per run; thread a seeded *rand.Rand instead",
-							q, name, root)
+							q, nameAt(s.Pos()), root)
 					}
 				}
 			}

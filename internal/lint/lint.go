@@ -19,8 +19,11 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Analyzer is one named check over a loaded program.
@@ -54,6 +57,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// posString renders a source position for use inside diagnostic
+// messages, relative to the module root so messages (and the golden
+// files pinning them) stay stable across checkouts.
+func (p *Pass) posString(pos token.Pos) string {
+	position := p.Prog.Fset.Position(pos)
+	if rel, err := filepath.Rel(p.Prog.ModuleDir, position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		position.Filename = filepath.ToSlash(rel)
+	}
+	return position.String()
 }
 
 // Diagnostic is one finding, anchored to a source position.
@@ -129,37 +143,77 @@ func (p *Program) suppressedBy(d Diagnostic) *ignoreDirective {
 type Result struct {
 	Diagnostics []Diagnostic // surviving findings, position-sorted
 	Suppressed  int          // findings silenced by //lint:ignore
+	// SuppressedDiagnostics holds the silenced findings themselves
+	// (position-sorted), so -json output and audits can list what the
+	// directives are actually covering.
+	SuppressedDiagnostics []Diagnostic
+	// Timings holds per-analyzer wall-clock, in the order the analyzers
+	// were requested (the analyzers run concurrently; the durations sum
+	// to more than the run's elapsed time).
+	Timings []AnalyzerTiming
+}
+
+// AnalyzerTiming is one analyzer's wall-clock cost over the program.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
 }
 
 // RunAnalyzers runs every analyzer over the program and returns the
 // surviving (unsuppressed) diagnostics in position order. Malformed
 // ignore directives (no analyzer list or no reason) are themselves
 // diagnostics, so suppressions stay auditable.
+//
+// The analyzers run concurrently: the loaded Program is immutable once
+// analysis starts (the shared call graph and summaries are memoized per
+// config behind a mutex), and each analyzer writes into its own
+// diagnostic slice, merged deterministically afterwards.
 func RunAnalyzers(prog *Program, analyzers []*Analyzer, cfg *Config) (*Result, error) {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
-	var raw []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Prog: prog, Config: cfg, diags: &raw}
-		if a.WholeProgram {
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+	diags := make([][]Diagnostic, len(analyzers))
+	errs := make([]error, len(analyzers))
+	timings := make([]AnalyzerTiming, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			start := time.Now()
+			pass := &Pass{Analyzer: a, Prog: prog, Config: cfg, diags: &diags[i]}
+			if a.WholeProgram {
+				if err := a.Run(pass); err != nil {
+					errs[i] = fmt.Errorf("lint: %s: %w", a.Name, err)
+				}
+			} else {
+				for _, pkg := range prog.Packages {
+					pass.Pkg = pkg
+					if err := a.Run(pass); err != nil {
+						errs[i] = fmt.Errorf("lint: %s (%s): %w", a.Name, pkg.Path, err)
+						break
+					}
+				}
 			}
-			continue
-		}
-		for _, pkg := range prog.Packages {
-			pass.Pkg = pkg
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s (%s): %w", a.Name, pkg.Path, err)
-			}
+			timings[i] = AnalyzerTiming{Name: a.Name, Elapsed: time.Since(start)}
+		}(i, a)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	res := &Result{}
+	var raw []Diagnostic
+	for _, d := range diags {
+		raw = append(raw, d...)
+	}
+	res := &Result{Timings: timings}
 	for _, d := range raw {
 		if dir := prog.suppressedBy(d); dir != nil {
 			dir.used = true
 			res.Suppressed++
+			res.SuppressedDiagnostics = append(res.SuppressedDiagnostics, d)
 			continue
 		}
 		res.Diagnostics = append(res.Diagnostics, d)
@@ -176,8 +230,14 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer, cfg *Config) (*Result, e
 		}
 		_ = file
 	}
-	sort.Slice(res.Diagnostics, func(i, j int) bool {
-		a, b := res.Diagnostics[i], res.Diagnostics[j]
+	sortDiagnostics(res.Diagnostics)
+	sortDiagnostics(res.SuppressedDiagnostics)
+	return res, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -189,12 +249,15 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer, cfg *Config) (*Result, e
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return res, nil
 }
 
 // Analyzers returns every registered analyzer in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RawLitAnalyzer, DeterminismAnalyzer, DroppedErrAnalyzer, MetricNameAnalyzer, HTTPWriteAnalyzer, FaultPointAnalyzer}
+	return []*Analyzer{
+		RawLitAnalyzer, DeterminismAnalyzer, DroppedErrAnalyzer, MetricNameAnalyzer,
+		HTTPWriteAnalyzer, FaultPointAnalyzer,
+		LockHeldAnalyzer, CtxFlowAnalyzer, GoLifecycleAnalyzer, AtomicMixAnalyzer,
+	}
 }
 
 // AnalyzerByName returns a registered analyzer, or nil.

@@ -98,6 +98,45 @@ func TestDeterminismGolden(t *testing.T) {
 	})
 }
 
+func TestLockHeldGolden(t *testing.T) {
+	golden(t, "lockheld", LockHeldAnalyzer, func(prog *Program) *Config {
+		cfg := DefaultConfig()
+		if len(prog.Packages) != 1 {
+			t.Fatalf("lockheld fixture loaded %d packages, want 1", len(prog.Packages))
+		}
+		cfg.FaultPointFuncs = map[string]int{prog.Packages[0].Path + ".FaultHit": 0}
+		return cfg
+	})
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	golden(t, "ctxflow", CtxFlowAnalyzer, func(prog *Program) *Config {
+		cfg := DefaultConfig()
+		if len(prog.Packages) != 1 {
+			t.Fatalf("ctxflow fixture loaded %d packages, want 1", len(prog.Packages))
+		}
+		cfg.WithoutCancelAllow = []string{prog.Packages[0].Path + ".DetachAudited"}
+		return cfg
+	})
+}
+
+func TestGoLifecycleGolden(t *testing.T) {
+	golden(t, "golifecycle", GoLifecycleAnalyzer, func(prog *Program) *Config {
+		cfg := DefaultConfig()
+		if len(prog.Packages) != 1 {
+			t.Fatalf("golifecycle fixture loaded %d packages, want 1", len(prog.Packages))
+		}
+		path := prog.Packages[0].Path
+		cfg.GoLifecycleRoots = []string{"^" + regexp.QuoteMeta(path) + `\.Serve$`}
+		cfg.DetachedGoroutines = []string{path + ".detachedHelper"}
+		return cfg
+	})
+}
+
+func TestAtomicMixGolden(t *testing.T) {
+	golden(t, "atomicmix", AtomicMixAnalyzer, nil)
+}
+
 // TestRepositoryIsLintClean is the tier-2 gate in test form: the whole
 // module must pass every analyzer under the production configuration.
 // Every intentional suppression carries a //lint:ignore with a reason,

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, and type-checked package of the module
@@ -41,6 +42,28 @@ type Program struct {
 
 	byPath  map[string]*Package
 	ignores map[string]map[int]*ignoreDirective // file -> line -> directive
+
+	// graphs memoizes the summarized call graph per configuration, so
+	// concurrently running analyzers share one build (the graph and its
+	// summaries are immutable once constructed).
+	graphMu sync.Mutex
+	graphs  map[*Config]*callGraph
+}
+
+// graph returns the program's summarized call graph for cfg, building
+// it on first use. Safe for concurrent analyzers.
+func (p *Program) graph(cfg *Config) *callGraph {
+	p.graphMu.Lock()
+	defer p.graphMu.Unlock()
+	if p.graphs == nil {
+		p.graphs = map[*Config]*callGraph{}
+	}
+	if g, ok := p.graphs[cfg]; ok {
+		return g
+	}
+	g := buildCallGraph(p, cfg)
+	p.graphs[cfg] = g
+	return g
 }
 
 // loader resolves imports: module-internal paths from the module tree,

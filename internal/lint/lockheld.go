@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeldAnalyzer flags a sync.Mutex/RWMutex held across a blocking
+// operation. A lock-then-block region is the cluster's worst failure
+// shape: every request hashing to the same shard queues behind one
+// stalled peer round trip or fsync, tail latency collapses, and — when
+// the blocked operation itself needs the lock to make progress (a
+// channel handed to a worker that logs under the same mutex) — the
+// node deadlocks outright. The serving path's discipline is therefore
+// "compute under the lock, wait outside it", and this analyzer enforces
+// it interprocedurally:
+//
+//   - blocking is classified by the shared call-graph summaries
+//     (callgraph.go): channel sends/receives, selects without default,
+//     network round trips, file-system syscalls, time.Sleep,
+//     WaitGroup/Cond waits, and every fault-injection point (each one
+//     is a latency-injection site under chaos schedules), propagated
+//     bottom-up through module-internal calls;
+//   - additionally, calling a function that (transitively) re-acquires
+//     the same mutex on the same receiver is reported as a self-
+//     deadlock — sync.Mutex is not reentrant.
+//
+// A lock region runs from a Lock/RLock call to the positionally nearest
+// Unlock/RUnlock of the same receiver expression (or to the end of the
+// function when the unlock is deferred). The analysis is path-
+// insensitive by position: a region that conditionally unlocks early is
+// over-approximated, so the rare intentional hold (a logger whose whole
+// purpose is serializing writes) carries a //lint:ignore rationale.
+// Function literals inside a region are skipped — a closure built under
+// a lock usually runs after it is released (worker pools, deferred
+// cleanup); blocking at the build site would be reported where the
+// closure's body actually executes.
+var LockHeldAnalyzer = &Analyzer{
+	Name:         "lockheld",
+	Doc:          "flags mutexes held across blocking operations (I/O, channels, waits, fault points) and self-deadlocking re-acquisition",
+	Run:          runLockHeld,
+	WholeProgram: true,
+}
+
+// lockRegion is one Lock()..Unlock() span inside a function body.
+type lockRegion struct {
+	recv     string // receiver expression text, e.g. "s.mu"
+	rootVar  types.Object
+	normKey  string // normalized key, e.g. "(pkg.Type).mu"
+	lockPos  token.Pos
+	endPos   token.Pos
+	deferred bool
+	rlocked  bool
+}
+
+func runLockHeld(pass *Pass) error {
+	graph := pass.Prog.graph(pass.Config)
+	for _, node := range graph.sortedNodes() {
+		checkLockHeld(pass, graph, node)
+	}
+	return nil
+}
+
+func checkLockHeld(pass *Pass, graph *callGraph, node *funcNode) {
+	info := node.pkg.Info
+	regions := lockRegions(info, node)
+	if len(regions) == 0 {
+		return
+	}
+	for _, reg := range regions {
+		scanLockRegion(pass, graph, node, reg)
+	}
+}
+
+// lockRegions collects every Lock/RLock in the body with its matching
+// region end: the positionally nearest same-receiver Unlock/RUnlock, or
+// the end of the body when the unlock is deferred (or missing).
+func lockRegions(info *types.Info, node *funcNode) []lockRegion {
+	type unlockSite struct {
+		recv     string
+		pos      token.Pos
+		deferred bool
+	}
+	var locks []lockRegion
+	var unlocks []unlockSite
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			if method, recv := mutexMethod(info, s.Call); method == "Unlock" || method == "RUnlock" {
+				unlocks = append(unlocks, unlockSite{recv: types.ExprString(recv), pos: s.Pos(), deferred: true})
+				return false
+			}
+		case *ast.CallExpr:
+			method, recv := mutexMethod(info, s)
+			switch method {
+			case "Lock", "RLock":
+				reg := lockRegion{
+					recv:    types.ExprString(recv),
+					rootVar: rootObject(info, recv),
+					normKey: normalizeLockKey(info, recv, node),
+					lockPos: s.Pos(),
+					rlocked: method == "RLock",
+				}
+				locks = append(locks, reg)
+			case "Unlock", "RUnlock":
+				unlocks = append(unlocks, unlockSite{recv: types.ExprString(recv), pos: s.Pos()})
+			}
+		}
+		return true
+	})
+	for i := range locks {
+		end := node.decl.Body.End()
+		deferred := true
+		for _, u := range unlocks {
+			if u.recv != locks[i].recv || u.pos <= locks[i].lockPos {
+				continue
+			}
+			if u.deferred {
+				continue // deferred unlock runs at function exit
+			}
+			if u.pos < end {
+				end = u.pos
+				deferred = false
+			}
+		}
+		locks[i].endPos = end
+		locks[i].deferred = deferred
+	}
+	return locks
+}
+
+// rootObject resolves the base identifier of a (possibly nested)
+// selector expression to its object, or nil.
+func rootObject(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.Ident:
+			return info.Uses[e]
+		default:
+			return nil
+		}
+	}
+}
+
+// scanLockRegion reports blocking operations between reg.lockPos and
+// reg.endPos.
+func scanLockRegion(pass *Pass, graph *callGraph, node *funcNode, reg lockRegion) {
+	info := node.pkg.Info
+	fname := QualifiedName(node.fn)
+	inRegion := func(pos token.Pos) bool { return pos > reg.lockPos && pos < reg.endPos }
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos,
+			"%s held across %s in %s (locked at %s): waiting under a lock serializes every contender behind the slowest operation — move the wait outside the critical section",
+			reg.recv, what, fname, pass.posString(reg.lockPos))
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			// Closures run elsewhere; blocking inside one is not "under"
+			// an enclosing lock. But a region whose Lock lives inside
+			// this literal is scanned in place.
+			if reg.lockPos > s.Pos() && reg.lockPos < s.End() {
+				return true
+			}
+			return false
+		case *ast.SendStmt:
+			if inRegion(s.Pos()) {
+				report(s.Pos(), "channel send")
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW && inRegion(s.Pos()) {
+				report(s.Pos(), "channel receive")
+			}
+		case *ast.RangeStmt:
+			if inRegion(s.Pos()) {
+				if t := info.TypeOf(s.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						report(s.Pos(), "range over channel")
+					}
+				}
+			}
+		case *ast.SelectStmt:
+			if selectHasDefault(s) {
+				for _, cl := range s.Body.List {
+					for _, st := range cl.(*ast.CommClause).Body {
+						ast.Inspect(st, walk)
+					}
+				}
+				return false
+			}
+			if inRegion(s.Pos()) {
+				report(s.Pos(), "select without default")
+			}
+		case *ast.CallExpr:
+			if !inRegion(s.Pos()) {
+				return true
+			}
+			fn := calleeOf(info, s)
+			if fn == nil {
+				return true
+			}
+			q := QualifiedName(fn)
+			if cls, ok := directBlockCalls[q]; ok {
+				report(s.Pos(), "call to "+q+" ("+cls.String()+")")
+				return true
+			}
+			if _, ok := pass.Config.FaultPointFuncs[q]; ok {
+				report(s.Pos(), "fault-injection point "+q+" (latency-injectable under chaos schedules)")
+				return true
+			}
+			callee := graph.nodes[fn]
+			if callee == nil || callee.summary == nil {
+				return true
+			}
+			if callee.summary.acquires[reg.normKey] && sameLockInstance(info, s, reg) {
+				pass.Reportf(s.Pos(),
+					"call to %s re-acquires %s already held in %s (locked at %s): sync.Mutex is not reentrant — this self-deadlocks",
+					q, reg.recv, fname, pass.posString(reg.lockPos))
+				return true
+			}
+			if callee.summary.blocks != blockNone {
+				report(s.Pos(), "call to "+q+" which blocks on "+callee.summary.blocks.String())
+			}
+		}
+		return true
+	}
+	ast.Inspect(node.decl.Body, walk)
+}
+
+// sameLockInstance guards the self-deadlock report against distinct
+// instances sharing a type: the callee must be invoked on the same
+// variable the held mutex is rooted at (s.mu held, s.helper() called).
+func sameLockInstance(info *types.Info, call *ast.CallExpr, reg lockRegion) bool {
+	if reg.rootVar == nil {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return rootObject(info, sel.X) == reg.rootVar
+}

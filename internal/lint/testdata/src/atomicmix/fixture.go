@@ -1,0 +1,77 @@
+// Package fixture exercises the atomicmix analyzer: variables accessed
+// both atomically and plainly, and mutation of atomic.Pointer/Value
+// payloads.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64 // accessed atomically AND plainly — every plain access flagged
+	misses int64 // atomics only — clean
+	local  int64 // plain only — clean
+	typed  atomic.Int64
+}
+
+// Record is the atomic side of the mixed field.
+func (c *counters) Record() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+	c.local++
+	c.typed.Add(1)
+}
+
+// Snapshot reads hits plainly — flagged — and misses atomically —
+// clean.
+func (c *counters) Snapshot() (int64, int64) {
+	return c.hits, atomic.LoadInt64(&c.misses)
+}
+
+// Reset writes hits plainly — flagged twice (write and increment).
+func (c *counters) Reset() {
+	c.hits = 0
+	c.hits++
+}
+
+// NewCounters constructs with composite-literal keys: zero-value
+// construction happens before the value is shared — clean.
+func NewCounters() *counters {
+	return &counters{hits: 0, misses: 0}
+}
+
+// AuditedRead documents a read that is provably single-threaded —
+// suppressed.
+func (c *counters) AuditedRead() int64 {
+	//lint:ignore atomicmix fixture: exercises directive suppression on a quiesced read
+	return c.hits
+}
+
+type config struct {
+	limit int
+	tags  map[string]string
+}
+
+type holder struct {
+	cfg atomic.Pointer[config]
+}
+
+// MutatesPayload writes through a loaded pointer: every reader of the
+// published snapshot races with it — flagged (field write and map
+// write).
+func (h *holder) MutatesPayload() {
+	cfg := h.cfg.Load()
+	cfg.limit = 10
+	cfg.tags["k"] = "v"
+}
+
+// CopyOnWrite is the sanctioned pattern: clone, mutate the clone,
+// publish the clone — clean.
+func (h *holder) CopyOnWrite() {
+	next := *h.cfg.Load()
+	next.limit = 10
+	h.cfg.Store(&next)
+}
+
+// ReadsPayload only reads the snapshot — clean.
+func (h *holder) ReadsPayload() int {
+	return h.cfg.Load().limit
+}

@@ -1,0 +1,81 @@
+// Package fixture exercises the ctxflow analyzer: severed cancellation
+// chains. The test config allowlists DetachAudited for
+// context.WithoutCancel.
+package fixture
+
+import (
+	"context"
+	"os"
+)
+
+// MintsRoot has no context of its own and mints one — flagged with the
+// "accept a context" message.
+func MintsRoot() context.Context {
+	return context.Background()
+}
+
+// MintsTODO is the same severance spelled TODO — flagged.
+func MintsTODO() context.Context {
+	return context.TODO()
+}
+
+// ShadowsCaller already receives a ctx and mints a fresh root anyway —
+// flagged with the sharper message.
+func ShadowsCaller(ctx context.Context) context.Context {
+	return context.Background()
+}
+
+// DetachAudited is in the allowlist — clean.
+func DetachAudited(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}
+
+// DetachUnaudited is not — flagged.
+func DetachUnaudited(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}
+
+// recvResult blocks on a channel and takes no context.
+func recvResult(c chan int) int { return <-c }
+
+// readState blocks only on file I/O — bounded by the disk, exempt from
+// the threading rule.
+func readState(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// recvWithCtx blocks but accepts a context — the callee can honor
+// cancellation, clean at the call site.
+func recvWithCtx(ctx context.Context, c chan int) int {
+	select {
+	case v := <-c:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// UncancellableWait carries a ctx but parks on a callee that cannot be
+// canceled — flagged.
+func UncancellableWait(ctx context.Context, c chan int) int {
+	return recvResult(c)
+}
+
+// BoundedCalls only reaches file I/O and ctx-aware waits — clean.
+func BoundedCalls(ctx context.Context, c chan int, path string) int {
+	if _, err := readState(path); err != nil {
+		return 0
+	}
+	return recvWithCtx(ctx, c)
+}
+
+// CleanupWait blocks in a defer: shutdown cleanup blocks briefly by
+// design — clean.
+func CleanupWait(ctx context.Context, c chan int) {
+	defer recvResult(c)
+}
+
+// AuditedRoot documents a legitimate root with a reasoned
+// suppression — suppressed, not reported.
+func AuditedRoot() context.Context {
+	//lint:ignore ctxflow fixture: exercises directive suppression on a sanctioned root
+	return context.Background()
+}

@@ -21,6 +21,31 @@ func EmitTable(w io.Writer, metrics map[string]float64) {
 	fmt.Fprintf(w, "entries=%d\n", countEntries(metrics))
 	stamp(w)
 	jitter(w)
+	emitAsync(w, metrics)
+}
+
+// emitAsync parallelizes part of the emission: a goroutine spawned
+// under a determinism root inherits the full reproducibility contract.
+// The map-order bug inside the literal is flagged and attributed to the
+// spawn; the named helper is flagged in the helper itself (the go
+// statement's call is a static call-graph edge).
+func emitAsync(w io.Writer, metrics map[string]float64) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for name, v := range metrics {
+			fmt.Fprintf(w, "async %s=%v\n", name, v)
+		}
+	}()
+	<-done
+	go emitHelper(w, metrics)
+}
+
+// emitHelper carries the same bug into a named goroutine target.
+func emitHelper(w io.Writer, metrics map[string]float64) {
+	for name, v := range metrics {
+		fmt.Fprintf(w, "helper %s=%v\n", name, v)
+	}
 }
 
 // emitSorted collects keys then sorts — the range body is

@@ -1,0 +1,87 @@
+// Package fixture exercises the golifecycle analyzer: every goroutine
+// reachable from a lifecycle root needs a join, a cancellation edge, or
+// a channel signal. The test config roots the analysis at Serve and
+// allowlists detachedHelper.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+type daemon struct {
+	wg    sync.WaitGroup
+	tasks chan int
+	errc  chan error
+	spawn func()
+}
+
+// Serve is the fixture lifecycle root.
+func Serve(ctx context.Context, d *daemon) {
+	// Fire-and-forget: no join, no ctx, no channel — flagged.
+	go func() {
+		d.compute()
+	}()
+
+	// WaitGroup join — clean.
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.compute()
+	}()
+
+	// Cancellation edge: the body watches ctx — clean.
+	go func() {
+		<-ctx.Done()
+	}()
+
+	// Completion hand-off on a channel — clean.
+	go func() {
+		d.errc <- d.run()
+	}()
+
+	// Worker draining a closable task channel — clean.
+	go func() {
+		for range d.tasks {
+			d.compute()
+		}
+	}()
+
+	// Named helper with no lifecycle edge — flagged, naming the callee.
+	go orphanHelper(d)
+
+	// Named helper in the audited detached allowlist — clean.
+	go detachedHelper(d)
+
+	// Function-typed field: statically unresolvable — flagged.
+	go d.spawn()
+
+	// Audited one-off with a reasoned suppression — suppressed.
+	//lint:ignore golifecycle fixture: exercises directive suppression on a sanctioned detached goroutine
+	go func() {
+		d.compute()
+	}()
+
+	d.wg.Wait()
+}
+
+func (d *daemon) compute()   {}
+func (d *daemon) run() error { return nil }
+
+// orphanHelper has no join, context, or channel operation.
+func orphanHelper(d *daemon) {
+	d.compute()
+}
+
+// detachedHelper is equally edge-free but allowlisted by the config.
+func detachedHelper(d *daemon) {
+	d.compute()
+}
+
+// Offline is not reachable from the Serve root: its bare goroutine is
+// outside the audited surface — clean.
+func Offline(d *daemon) {
+	go func() {
+		d.compute()
+	}()
+}

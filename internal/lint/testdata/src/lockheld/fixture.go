@@ -1,0 +1,135 @@
+// Package fixture exercises the lockheld analyzer: mutexes held across
+// blocking operations and self-deadlocking re-acquisition. The test
+// config registers FaultHit as a fault-injection point.
+package fixture
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// FaultHit stands in for faultinject.Hit in the test config.
+func FaultHit(name string) error { return nil }
+
+type server struct {
+	mu    sync.Mutex
+	state int
+	tasks chan int
+	done  chan struct{}
+}
+
+// HeldAcrossChannel sends on a channel under the lock — flagged.
+func (s *server) HeldAcrossChannel(v int) {
+	s.mu.Lock()
+	s.state = v
+	s.tasks <- v
+	s.mu.Unlock()
+}
+
+// HeldAcrossSleep sleeps under a deferred unlock, so the region runs to
+// the end of the function — flagged.
+func (s *server) HeldAcrossSleep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// HeldAcrossFile does file I/O under the lock — flagged.
+func (s *server) HeldAcrossFile(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := os.ReadFile(path)
+	return err
+}
+
+// HeldAcrossFault calls a fault-injection point under the lock: every
+// such point is a latency-injection site under chaos schedules —
+// flagged.
+func (s *server) HeldAcrossFault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = FaultHit("fixture/point")
+}
+
+// waitDone blocks on the done channel; its summary marks it blocking.
+func (s *server) waitDone() { <-s.done }
+
+// HeldAcrossCallee blocks only transitively, through waitDone's
+// summary — flagged at the call.
+func (s *server) HeldAcrossCallee() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.waitDone()
+}
+
+// touch re-acquires the receiver's mutex.
+func (s *server) touch() {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+}
+
+// SelfDeadlock calls a method that re-locks the mutex it already
+// holds — sync.Mutex is not reentrant — flagged.
+func (s *server) SelfDeadlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch()
+}
+
+// OtherInstance holds its own lock while locking a different server's:
+// same type, different instance — not a self-deadlock, not flagged.
+func (s *server) OtherInstance(other *server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	other.touch()
+}
+
+// UnlockBeforeWait releases the lock before blocking — the serving
+// path's discipline, clean.
+func (s *server) UnlockBeforeWait(v int) {
+	s.mu.Lock()
+	s.state = v
+	s.mu.Unlock()
+	s.tasks <- v
+}
+
+// ClosureUnderLock builds a closure under the lock but runs it
+// elsewhere; the blocking body is not "under" the lock — clean.
+func (s *server) ClosureUnderLock() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() { <-s.done }
+}
+
+// LockInsideClosure locks inside a function literal and blocks there:
+// the region lives in the closure and is scanned in place — flagged.
+func (s *server) LockInsideClosure() func() {
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// NonBlockingSelect polls under the lock with a default clause — never
+// blocks, clean.
+func (s *server) NonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.tasks:
+		s.state = v
+	default:
+	}
+}
+
+// SerializedWriter is the audited exception: the lock's purpose is
+// serializing the file writes, and the suppression records that.
+func (s *server) SerializedWriter(path string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockheld fixture: this mutex exists to serialize writes; holding it across the write is the point
+	return os.WriteFile(path, data, 0o644)
+}

@@ -23,6 +23,7 @@ type Flow struct {
 
 // Run executes the flow without cancellation.
 func (f Flow) Run(g *aig.AIG, seed int64) *aig.AIG {
+	//lint:ignore ctxflow compatibility wrapper whose documented contract is "without cancellation"; cancelable callers use RunCtx
 	return f.RunCtx(context.Background(), g, seed)
 }
 
@@ -43,6 +44,7 @@ func Flows() []Flow {
 
 // RunFlow executes the named flow without cancellation.
 func RunFlow(name string, g *aig.AIG, seed int64) (*aig.AIG, error) {
+	//lint:ignore ctxflow compatibility wrapper whose documented contract is "without cancellation"; cancelable callers use RunFlowContext
 	return RunFlowContext(context.Background(), name, g, seed)
 }
 

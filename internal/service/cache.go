@@ -124,12 +124,21 @@ func newFlightGroup() *flightGroup {
 }
 
 // do runs fn once per key among concurrent callers; shared reports
-// whether this caller joined another caller's flight.
-func (g *flightGroup) do(key string, fn func() (float64, error)) (val float64, err error, shared bool) {
+// whether this caller joined another caller's flight. A follower's wait
+// is bounded by ctx: if the caller's request is canceled while the
+// leader is still computing, the follower returns ctx.Err() immediately
+// instead of inheriting the leader's schedule (the leader is not
+// interrupted — its result still fills the cache for later callers).
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (float64, error)) (val float64, err error, shared bool) {
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
-		<-c.done
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			telemetry.Add("service/singleflight_abandoned", 1)
+			return 0, ctx.Err(), true
+		}
 		telemetry.Add("service/singleflight_shared", 1)
 		return c.val, c.err, true
 	}

@@ -152,6 +152,7 @@ func New(cfg Config) *Server {
 		// the recovery_errors counter records the degradation.
 		_, _, _ = RecoverSpillDir(cfg.SpillDir, cfg.Events)
 	}
+	//lint:ignore ctxflow the server base context is the daemon-lifetime root, canceled in Close — background jobs derive from it
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,

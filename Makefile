@@ -39,6 +39,7 @@ FUZZTIME ?= 10s
 fuzz:
 	go test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/aiger
 	go test -run '^$$' -fuzz '^FuzzHandlers$$' -fuzztime $(FUZZTIME) ./internal/service
+	go test -run '^$$' -fuzz '^FuzzCodec$$' -fuzztime $(FUZZTIME) ./internal/sketch
 
 # chaos runs the deterministic fault-injection suite under the race
 # detector: the faultinject registry's own tests, the client and
@@ -55,5 +56,8 @@ chaos:
 # telemetry-derived per-stage breakdown (synthesis/profiling/
 # optimization/metrics seconds per op) alongside ns/op, and the same
 # breakdown is written to BENCH_pipeline.json for machine consumption.
+# The recall contract test runs alongside so its deterministic
+# recall-vs-cost numbers are snapshotted into BENCH_sketch.json.
 bench:
-	BENCH_JSON=BENCH_pipeline.json go test -run '^$$' -bench . -benchtime 1x .
+	BENCH_JSON=BENCH_pipeline.json BENCH_SKETCH_JSON=BENCH_sketch.json \
+		go test -run '^TestSketchRecallContract$$' -bench . -benchtime 1x .

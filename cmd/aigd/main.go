@@ -1,6 +1,11 @@
 // Command aigd runs the diversity-as-a-service daemon: a long-running
 // HTTP/JSON server over the similarity framework with content-addressed
-// AIG storage, cached pairwise scoring, and async optimization jobs.
+// AIG storage, cached pairwise scoring, async optimization jobs, and
+// sketch-indexed retrieval — every stored structure is MinHash/SimHash
+// signed and band-indexed on intern, so /v1/neighbors (k-NN by any
+// metric) and /v1/diverse-subset (greedy max-min selection) answer in
+// sub-quadratic time, and /v1/metrics/batch prunes oversized batches
+// through band collisions (see README "Similarity at scale").
 //
 // Usage:
 //

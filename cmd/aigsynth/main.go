@@ -6,12 +6,14 @@
 //	aigsynth -n 3 -tt e8,96 -recipe bdd out.aag     synthesize maj3+xor3
 //	aigsynth -n 3 -tt e8 -compare                   size report, all recipes
 //	aigsynth -spec fulladder -recipe fx out.aag     from the benchmark suite
+//	aigsynth -suite-dir corpus/ -limit 128          suite×recipes corpus files
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/aiger"
@@ -26,8 +28,17 @@ func main() {
 	specName := flag.String("spec", "", "benchmark-suite spec name (alternative to -tt)")
 	recipe := flag.String("recipe", "fx", "synthesis recipe")
 	compare := flag.Bool("compare", false, "print per-recipe size/depth instead of writing a file")
-	seed := flag.Int64("seed", 2024, "suite seed (with -spec)")
+	seed := flag.Int64("seed", 2024, "suite seed (with -spec or -suite-dir)")
+	suiteDir := flag.String("suite-dir", "", "write the whole suite × recipes corpus as AIGER files into DIR")
+	limit := flag.Int("limit", 0, "max corpus files to write in -suite-dir mode (0 = all)")
 	flag.Parse()
+
+	if *suiteDir != "" {
+		if err := writeCorpus(*suiteDir, *seed, *limit); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var spec []tt.TT
 	switch {
@@ -77,6 +88,34 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("%s: %v\n", flag.Arg(0), g.Stat())
+}
+
+// writeCorpus materializes the benchmark suite crossed with every
+// synthesis recipe as one AIGER file per (spec, recipe), up to limit
+// files — the corpus-generation mode smoke tests and retrieval
+// benchmarks feed from. File order is deterministic: suite order,
+// recipes within a spec.
+func writeCorpus(dir string, seed int64, limit int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	written := 0
+	for _, s := range workload.Suite(seed) {
+		for _, r := range synth.Recipes() {
+			if limit > 0 && written >= limit {
+				fmt.Printf("%s: %d files\n", dir, written)
+				return nil
+			}
+			g := r.Build(s.Outputs)
+			name := fmt.Sprintf("%s__%s.aag", s.Name, r.Name)
+			if err := aiger.WriteFile(filepath.Join(dir, name), g); err != nil {
+				return err
+			}
+			written++
+		}
+	}
+	fmt.Printf("%s: %d files\n", dir, written)
+	return nil
 }
 
 func fatal(err error) {

@@ -15,6 +15,12 @@
 //	metrics FPA FPB [M1,M2,...]
 //	                    score a stored pair (routed to its ring owner),
 //	                    print the scores as JSON
+//	neighbors FP [-k K] [-metric M] [-exact] [-budget N]
+//	                    k-NN query for a stored fingerprint (routed to
+//	                    its ring owners), print the ranked neighbors
+//	diverse [-k K] [-metric M] [FP ...]
+//	                    greedy max-min diverse subset over the given
+//	                    pool (or the receiving node's whole corpus)
 //	route FPA FPB       print the pair's owner node IDs, one per line,
 //	                    in preference order (no request is made)
 //	health              probe every node once; print per-node status
@@ -48,7 +54,7 @@ func run() int {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "aigw: need a command: submit | metrics | route | health")
+		fmt.Fprintln(os.Stderr, "aigw: need a command: submit | metrics | neighbors | diverse | route | health")
 		return 2
 	}
 
@@ -109,6 +115,40 @@ func run() int {
 			return 1
 		}
 		return printJSON(scores)
+	case "neighbors":
+		fs := flag.NewFlagSet("neighbors", flag.ContinueOnError)
+		k := fs.Int("k", 0, "neighbors to return (0 = server default)")
+		metric := fs.String("metric", "", "similarity metric (default WLKernel)")
+		exact := fs.Bool("exact", false, "force the exact full-corpus scan")
+		budget := fs.Int("budget", 0, "sketch candidate budget (0 = server default)")
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		if fs.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "aigw: usage: neighbors [-k K] [-metric M] [-exact] [-budget N] FP")
+			return 2
+		}
+		resp, err := g.Neighbors(ctx, fs.Arg(0), client.NeighborsOptions{
+			K: *k, Metric: *metric, Exact: *exact, Budget: *budget,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigw:", err)
+			return 1
+		}
+		return printJSON(resp)
+	case "diverse":
+		fs := flag.NewFlagSet("diverse", flag.ContinueOnError)
+		k := fs.Int("k", 4, "subset size")
+		metric := fs.String("metric", "", "similarity metric (default WLKernel)")
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		resp, err := g.DiverseSubset(ctx, fs.Args(), *k, *metric)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigw:", err)
+			return 1
+		}
+		return printJSON(resp)
 	case "route":
 		if len(rest) != 2 {
 			fmt.Fprintln(os.Stderr, "aigw: usage: route FPA FPB")

@@ -373,6 +373,20 @@ type batchResp struct {
 	Pairs []BatchPair `json:"pairs"`
 }
 
+type neighborsReq struct {
+	FP     string `json:"fp"`
+	K      int    `json:"k,omitempty"`
+	Metric string `json:"metric,omitempty"`
+	Exact  bool   `json:"exact,omitempty"`
+	Budget int    `json:"budget,omitempty"`
+}
+
+type diverseReq struct {
+	AIGs   []string `json:"aigs,omitempty"`
+	K      int      `json:"k"`
+	Metric string   `json:"metric,omitempty"`
+}
+
 type optimizeReq struct {
 	AIG  string `json:"aig"`
 	Flow string `json:"flow"`
@@ -433,6 +447,43 @@ func (c *Client) MetricsBatch(ctx context.Context, fps []string, metrics []strin
 		return nil, err
 	}
 	return resp.Pairs, nil
+}
+
+// NeighborsOptions tunes a k-NN query; the zero value uses the
+// daemon's defaults (k=10, WLKernel, sketch-pruned with the default
+// candidate budget).
+type NeighborsOptions struct {
+	K      int
+	Metric string
+	// Exact forces the ground-truth full-corpus scan.
+	Exact bool
+	// Budget caps sketch-pruned candidates getting full evaluation.
+	Budget int
+}
+
+// Neighbors runs a k-NN query for a stored fingerprint.
+func (c *Client) Neighbors(ctx context.Context, fp string, opts NeighborsOptions) (service.NeighborsResponse, error) {
+	body, err := json.Marshal(neighborsReq{
+		FP: fp, K: opts.K, Metric: opts.Metric, Exact: opts.Exact, Budget: opts.Budget,
+	})
+	if err != nil {
+		return service.NeighborsResponse{}, err
+	}
+	var resp service.NeighborsResponse
+	err = c.do(ctx, "neighbors", http.MethodPost, "/v1/neighbors", "application/json", body, "", &resp)
+	return resp, err
+}
+
+// DiverseSubset runs greedy max-min diversity selection over stored
+// fingerprints (nil pool = the daemon's whole corpus).
+func (c *Client) DiverseSubset(ctx context.Context, pool []string, k int, metric string) (service.DiverseResponse, error) {
+	body, err := json.Marshal(diverseReq{AIGs: pool, K: k, Metric: metric})
+	if err != nil {
+		return service.DiverseResponse{}, err
+	}
+	var resp service.DiverseResponse
+	err = c.do(ctx, "diverse", http.MethodPost, "/v1/diverse-subset", "application/json", body, "", &resp)
+	return resp, err
 }
 
 // Optimize submits an async optimization job and returns its ID. The

@@ -97,10 +97,16 @@ func (g *Gateway) PairOwners(fpA, fpB string) []string {
 	return g.ring.Owners(ring.PairKey(fpA, fpB))
 }
 
-// candidatesFor builds the failover order for a pair: ring owners
-// first, every remaining node after them.
-func (g *Gateway) candidatesFor(fpA, fpB string) []string {
-	owners := g.PairOwners(fpA, fpB)
+// AIGOwners returns the nodes owning a stored structure, in preference
+// order — the routing decision Neighbors makes. Structures ring-hash on
+// the raw fingerprint, matching the server-side replication key.
+func (g *Gateway) AIGOwners(fp string) []string {
+	return g.ring.Owners(fp)
+}
+
+// ordered builds a failover order: the given owners first, every
+// remaining node after them.
+func (g *Gateway) ordered(owners []string) []string {
 	out := make([]string, 0, len(g.ids))
 	out = append(out, owners...)
 	inOwners := make(map[string]bool, len(owners))
@@ -113,6 +119,12 @@ func (g *Gateway) candidatesFor(fpA, fpB string) []string {
 		}
 	}
 	return out
+}
+
+// candidatesFor builds the failover order for a pair: ring owners
+// first, every remaining node after them.
+func (g *Gateway) candidatesFor(fpA, fpB string) []string {
+	return g.ordered(g.PairOwners(fpA, fpB))
 }
 
 // failover reports whether an error from one node justifies trying the
@@ -186,6 +198,49 @@ func (g *Gateway) Metrics(ctx context.Context, a, b string, metrics []string) (m
 		return err
 	})
 	return scores, err
+}
+
+// Neighbors runs a k-NN query for a stored fingerprint, routed to the
+// structure's ring owners first — they hold the structure (and the
+// densest local corpus around it) so the answer is most complete
+// there. Each node answers from its own store; in a cluster this is a
+// per-node view, not a global one.
+func (g *Gateway) Neighbors(ctx context.Context, fp string, opts NeighborsOptions) (service.NeighborsResponse, error) {
+	var resp service.NeighborsResponse
+	err := g.tryEach(ctx, g.ordered(g.AIGOwners(fp)), func(c *Client) error {
+		r, err := c.Neighbors(ctx, fp, opts)
+		if err == nil {
+			resp = r
+		}
+		return err
+	})
+	return resp, err
+}
+
+// DiverseSubset runs greedy max-min diversity selection. With an
+// explicit pool the call routes to the first pool member's owners
+// (most likely to hold the whole pool); a whole-corpus call
+// round-robins like SubmitAIG since every node's corpus is equally
+// valid a population.
+func (g *Gateway) DiverseSubset(ctx context.Context, pool []string, k int, metric string) (service.DiverseResponse, error) {
+	var candidates []string
+	if len(pool) > 0 {
+		candidates = g.ordered(g.AIGOwners(pool[0]))
+	} else {
+		start := int(g.rr.Add(1)-1) % len(g.ids)
+		for i := 0; i < len(g.ids); i++ {
+			candidates = append(candidates, g.ids[(start+i)%len(g.ids)])
+		}
+	}
+	var resp service.DiverseResponse
+	err := g.tryEach(ctx, candidates, func(c *Client) error {
+		r, err := c.DiverseSubset(ctx, pool, k, metric)
+		if err == nil {
+			resp = r
+		}
+		return err
+	})
+	return resp, err
 }
 
 // Healthz probes every node once and returns the per-node outcome

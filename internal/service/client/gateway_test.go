@@ -193,3 +193,60 @@ func TestGatewayNoFailoverOnContract(t *testing.T) {
 		t.Fatalf("a contract 404 reached %d nodes, want exactly 1", total)
 	}
 }
+
+// TestGatewayNeighborsAndDiverse: the retrieval calls route like the
+// rest of the gateway — neighbors to the structure's ring owner with
+// failover, diverse to the pool head's owner — and the answers match
+// what the owning node would return directly.
+func TestGatewayNeighborsAndDiverse(t *testing.T) {
+	fx := newGatewayFixture(t)
+	fps := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		fps = append(fps, fx.seedAll(t, testAIG(t, int64(40+i))))
+	}
+	for id := range fx.counts {
+		fx.counts[id].Store(0)
+	}
+
+	owners := fx.g.AIGOwners(fps[0])
+	resp, err := fx.g.Neighbors(context.Background(), fps[0], NeighborsOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.K != 3 || len(resp.Neighbors) != 3 {
+		t.Fatalf("neighbors response %+v, want 3 neighbors", resp)
+	}
+	if got := fx.counts[owners[0]].Load(); got != 1 {
+		t.Fatalf("owner %s served %d/1 neighbors calls", owners[0], got)
+	}
+
+	// Kill the owner: the same query must fail over and still answer.
+	fx.dead[owners[0]].Store(true)
+	if _, err := fx.g.Neighbors(context.Background(), fps[0], NeighborsOptions{K: 3}); err != nil {
+		t.Fatalf("neighbors with dead owner: %v", err)
+	}
+	fx.dead[owners[0]].Store(false)
+
+	dresp, err := fx.g.DiverseSubset(context.Background(), fps, 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dresp.Chosen) != 3 || len(dresp.Matrix) != 3 {
+		t.Fatalf("diverse response %+v, want 3 chosen with 3x3 matrix", dresp)
+	}
+
+	// An unknown fingerprint is a contract 404 — no failover storm.
+	for id := range fx.counts {
+		fx.counts[id].Store(0)
+	}
+	if _, err := fx.g.Neighbors(context.Background(), "fp-missing", NeighborsOptions{}); err == nil {
+		t.Fatal("expected 404 for unknown fingerprint")
+	}
+	var total int64
+	for _, c := range fx.counts {
+		total += c.Load()
+	}
+	if total != 1 {
+		t.Fatalf("a contract 404 reached %d nodes, want exactly 1", total)
+	}
+}

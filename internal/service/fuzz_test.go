@@ -31,6 +31,8 @@ func FuzzHandlers(f *testing.F) {
 		{"POST", "/v1/metrics/batch"},
 		{"POST", "/v1/optimize"},
 		{"POST", "/v1/report"},
+		{"POST", "/v1/neighbors"},
+		{"POST", "/v1/diverse-subset"},
 	}
 
 	f.Add(uint8(0), []byte("aag 1 1 0 1 0\n2\n2\n"))
@@ -43,6 +45,12 @@ func FuzzHandlers(f *testing.F) {
 	f.Add(uint8(1), []byte(`{"a":`))
 	f.Add(uint8(2), []byte(`[]`))
 	f.Add(uint8(4), []byte{0xff, 0xfe, 0x00})
+	f.Add(uint8(5), []byte(`{"fp":"x","k":3,"metric":"WLKernel"}`))
+	f.Add(uint8(5), []byte(`{"fp":"","k":-1}`))
+	f.Add(uint8(5), []byte(`{"fp":"x","budget":-5}`))
+	f.Add(uint8(6), []byte(`{"aigs":["x","y"],"k":2}`))
+	f.Add(uint8(6), []byte(`{"k":0}`))
+	f.Add(uint8(6), []byte(`{"k":9999,"metric":"nope"}`))
 
 	f.Fuzz(func(t *testing.T, sel uint8, body []byte) {
 		tgt := targets[int(sel)%len(targets)]

@@ -15,6 +15,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/opt"
 	"repro/internal/simil"
+	"repro/internal/sketch"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
 )
@@ -23,12 +24,15 @@ import (
 // magnitude above anything the framework's workloads produce).
 const maxAIGERBody = 16 << 20
 
-// maxBatchAIGs bounds one all-pairs batch request. The batch loop is
-// O(n²) in pairs, so an unbounded list would let a single small JSON
-// body pin a pool worker for an arbitrarily long time; larger
-// populations should be split into multiple batches (the result cache
-// makes the overlap free).
-const maxBatchAIGs = 64
+// maxBatchAIGs bounds one all-pairs batch request. Batches above
+// maxBatchExact are routed through sketch pruning — full metric
+// evaluation is spent only on pairs some LSH band considers similar —
+// which is what makes the raised cap affordable; beyond it, split into
+// multiple batches (the result cache makes the overlap free).
+const (
+	maxBatchAIGs  = 512
+	maxBatchExact = 64
+)
 
 // --- wire types --------------------------------------------------------
 
@@ -65,6 +69,19 @@ type batchResponse struct {
 	AIGs []string `json:"aigs"`
 	// Pairs holds one entry per unordered pair, indexed into AIGs.
 	Pairs []batchPair `json:"pairs"`
+	// Pruned reports that the batch exceeded maxBatchExact and the
+	// sketch index pre-filtered the pair loop; PrunedPairs counts the
+	// pairs skipped without full evaluation.
+	Pruned      bool `json:"pruned,omitempty"`
+	PrunedPairs int  `json:"pruned_pairs,omitempty"`
+}
+
+// batchCapError is the structured over-cap refusal: the client learns
+// the actual cap and its own request size, not just a bare 400.
+type batchCapError struct {
+	Error string `json:"error"`
+	Cap   int    `json:"cap"`
+	Size  int    `json:"size"`
 }
 
 type batchPair struct {
@@ -180,6 +197,8 @@ var routePatterns = []string{
 	"GET /v1/aigs/{fp}",
 	"POST /v1/metrics",
 	"POST /v1/metrics/batch",
+	"POST /v1/neighbors",
+	"POST /v1/diverse-subset",
 	"POST /v1/optimize",
 	"POST /v1/report",
 	"GET /v1/jobs/{id}",
@@ -197,6 +216,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/aigs/{fp}", s.guard("GET /v1/aigs/{fp}", s.handleGetAIG))
 	mux.HandleFunc("POST /v1/metrics", s.guard("POST /v1/metrics", s.handleMetrics))
 	mux.HandleFunc("POST /v1/metrics/batch", s.guard("POST /v1/metrics/batch", s.handleMetricsBatch))
+	mux.HandleFunc("POST /v1/neighbors", s.guard("POST /v1/neighbors", s.handleNeighbors))
+	mux.HandleFunc("POST /v1/diverse-subset", s.guard("POST /v1/diverse-subset", s.handleDiverse))
 	mux.HandleFunc("POST /v1/optimize", s.guard("POST /v1/optimize", s.handleOptimize))
 	mux.HandleFunc("POST /v1/report", s.guard("POST /v1/report", s.handleReport))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.guard("GET /v1/jobs/{id}", s.handleGetJob))
@@ -455,7 +476,13 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.AIGs) > maxBatchAIGs {
-		replyError(w, http.StatusBadRequest, "batch of %d AIGs exceeds the limit of %d; split it into smaller batches", len(req.AIGs), maxBatchAIGs)
+		telemetry.Add("service/batch_shed", 1)
+		telemetry.Add("service/http_errors", 1)
+		reply(w, http.StatusBadRequest, batchCapError{
+			Error: fmt.Sprintf("batch of %d AIGs exceeds the limit of %d; split it into smaller batches", len(req.AIGs), maxBatchAIGs),
+			Cap:   maxBatchAIGs,
+			Size:  len(req.AIGs),
+		})
 		return
 	}
 	metrics, err := resolveMetrics(req.Metrics)
@@ -473,6 +500,11 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 		entries[i] = e
 	}
 	resp := batchResponse{AIGs: req.AIGs}
+	// Oversized batches go two-stage: an ephemeral sketch index over
+	// just the batch population picks the candidate pairs, and the
+	// O(n²) full-evaluation loop shrinks to the pairs some LSH band
+	// considers similar.
+	prune := len(req.AIGs) > maxBatchExact
 	ctx := r.Context()
 	var serr error
 	_, qspan := trace.Start(ctx, "service/queue_wait")
@@ -481,19 +513,52 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 		// Coalesce the batch's per-graph work up front: one profile per
 		// graph covering the union of artifact needs.
 		needs := simil.Needs(metrics)
-		for _, e := range entries {
+		if prune {
+			needs |= simil.NeedSketch
+		}
+		sigs := make([]*sketch.Signature, len(entries))
+		for i, e := range entries {
 			if serr = ctx.Err(); serr != nil { // client gone: free the worker
 				return
 			}
-			if _, perr := s.profileFor(e, needs); perr != nil {
+			p, perr := s.profileFor(e, needs)
+			if perr != nil {
 				serr = perr
 				return
+			}
+			sigs[i] = p.Sketch()
+		}
+		allowedFP := make(map[[2]string]bool)
+		if prune {
+			ix := sketch.NewIndex()
+			inserted := make(map[string]bool, len(entries))
+			for i, e := range entries {
+				if !inserted[e.fp] {
+					inserted[e.fp] = true
+					ix.Insert(e.fp, sigs[i])
+				}
+			}
+			for _, p := range ix.CandidatePairs(pruneFamilies(metrics)) {
+				allowedFP[p] = true
 			}
 		}
 		for i := 0; i < len(entries); i++ {
 			for j := i + 1; j < len(entries); j++ {
 				if serr = ctx.Err(); serr != nil {
 					return
+				}
+				// Identical fingerprints always evaluate (the index holds
+				// one entry per fingerprint, so banding cannot vouch for
+				// them) — their scores are trivial and cache-shared anyway.
+				if prune && entries[i].fp != entries[j].fp {
+					a, b := entries[i].fp, entries[j].fp
+					if a > b {
+						a, b = b, a
+					}
+					if !allowedFP[[2]string{a, b}] {
+						resp.PrunedPairs++
+						continue
+					}
 				}
 				scores, perr := s.pairScores(ctx, entries[i], entries[j], metrics)
 				if perr != nil {
@@ -502,6 +567,12 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 				}
 				resp.Pairs = append(resp.Pairs, batchPair{I: i, J: j, Scores: scores})
 			}
+		}
+		if prune {
+			resp.Pruned = true
+			telemetry.Add("sketch/candidates", int64(len(resp.Pairs)))
+			telemetry.Add("sketch/exact_evals", int64(len(resp.Pairs)))
+			telemetry.Add("sketch/pruned", int64(resp.PrunedPairs))
 		}
 	})
 	if err != nil {

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/simil"
+	"repro/internal/sketch"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
 )
@@ -165,6 +166,11 @@ func New(cfg Config) *Server {
 		baseCtx:  ctx,
 		baseStop: stop,
 	}
+	// Splice the sketch layer into the store: every interned entry gets
+	// its base profile and retrieval signature built by prepare, and
+	// index membership mirrors LRU membership under the store lock.
+	s.store.index = sketch.NewIndex()
+	s.store.prepare = s.prepareEntry
 	s.metricsAdm.limit = int64(cfg.PendingMetrics)
 	s.jobsAdm.limit = int64(cfg.PendingJobs)
 	return s

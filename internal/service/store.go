@@ -2,11 +2,13 @@ package service
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 
 	"repro/internal/aig"
 	"repro/internal/faultinject"
 	"repro/internal/simil"
+	"repro/internal/sketch"
 	"repro/internal/telemetry"
 )
 
@@ -27,6 +29,11 @@ type storedAIG struct {
 	g     *aig.AIG
 	stats aig.Stats
 
+	// sig is the retrieval signature mirrored into the sketch index.
+	// Written once by the store's prepare hook before the entry is
+	// published, read-only afterwards.
+	sig *sketch.Signature
+
 	profMu  sync.Mutex
 	profile *simil.Profile
 }
@@ -40,6 +47,16 @@ type store struct {
 	byFP  map[string]*list.Element
 	order *list.List // front = most recently used
 	cap   int
+
+	// prepare, when set, runs on every newly interned entry before it
+	// is published — outside mu, on a still-private entry — and is
+	// where the server builds the base profile and retrieval signature.
+	prepare func(*storedAIG)
+	// index, when set, mirrors store membership: Insert on intern and
+	// Remove on evict both happen under mu, so a fingerprint is in the
+	// index exactly when it is in the LRU — queries can never see an
+	// evicted entry or miss a live one.
+	index *sketch.Index
 }
 
 func newStore(capacity int) *store {
@@ -53,19 +70,45 @@ func (s *store) put(g *aig.AIG) (*storedAIG, bool) {
 	faultinject.Delay(PointStorePut)
 	fp := g.Fingerprint()
 	s.mu.Lock()
+	if el, ok := s.byFP[fp]; ok {
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		telemetry.Add("service/store_hits", 1)
+		return el.Value.(*storedAIG), true
+	}
+	s.mu.Unlock()
+
+	// New structure: build the entry — profile and retrieval signature
+	// via the prepare hook — outside the lock. The entry is still
+	// private, so prepare needs no synchronization; a racing identical
+	// submit at worst prepares its own copy and discards it below
+	// (construction is deterministic, the copies are interchangeable).
+	e := &storedAIG{fp: fp, g: g, stats: g.Stat()}
+	if s.prepare != nil {
+		s.prepare(e)
+	}
+
+	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.byFP[fp]; ok {
+		// A racing submit published first; its entry is canonical.
 		s.order.MoveToFront(el)
 		telemetry.Add("service/store_hits", 1)
 		return el.Value.(*storedAIG), true
 	}
-	e := &storedAIG{fp: fp, g: g, stats: g.Stat()}
 	s.byFP[fp] = s.order.PushFront(e)
+	if s.index != nil && e.sig != nil {
+		s.index.Insert(fp, e.sig)
+	}
 	telemetry.Add("service/store_adds", 1)
 	for s.order.Len() > s.cap {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
-		delete(s.byFP, oldest.Value.(*storedAIG).fp)
+		ofp := oldest.Value.(*storedAIG).fp
+		delete(s.byFP, ofp)
+		if s.index != nil {
+			s.index.Remove(ofp)
+		}
 		telemetry.Add("service/store_evictions", 1)
 	}
 	return e, false
@@ -87,4 +130,35 @@ func (s *store) len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.order.Len()
+}
+
+// snapshot returns the live entries sorted by fingerprint, without
+// bumping recency — the deterministic iteration base for exact
+// neighbor scans and diverse-subset pools.
+func (s *store) snapshot() []*storedAIG {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*storedAIG, 0, s.order.Len())
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*storedAIG))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].fp < out[j].fp })
+	return out
+}
+
+// rebuildIndex atomically reconstructs the sketch index from current
+// membership. Running under mu means no intern or evict can interleave
+// with the rebuild: the new index is an exact mirror of the LRU at one
+// instant.
+func (s *store) rebuildIndex() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sigs := make(map[string]*sketch.Signature, s.order.Len())
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*storedAIG); e.sig != nil {
+			sigs[e.fp] = e.sig
+		}
+	}
+	s.index.Reset(sigs)
+	return len(sigs)
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/aig"
 	"repro/internal/graph"
 	"repro/internal/opt"
+	"repro/internal/sketch"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -31,9 +32,10 @@ const (
 	NeedWL                              // Weisfeiler-Lehman histogram
 	NeedSpectrum                        // top-k adjacency eigenvalues (ASD)
 	NeedOptScores                       // single-step reduction vector (Eq. 3/4)
+	NeedSketch                          // MinHash/simhash retrieval signature
 
 	// AllArtifacts requests every family.
-	AllArtifacts = NeedOverlap | NeedNetSimile | NeedWL | NeedSpectrum | NeedOptScores
+	AllArtifacts = NeedOverlap | NeedNetSimile | NeedWL | NeedSpectrum | NeedOptScores | NeedSketch
 )
 
 // Profile holds per-AIG precomputations so that pairwise metric
@@ -57,6 +59,10 @@ type Profile struct {
 	// Single-step optimization reductions (rewrite, refactor, resub),
 	// the r_i(A) of Eq. 3/4.
 	reductions [3]float64
+
+	// Retrieval sketch over the WL histogram and NetSimile features
+	// (NeedSketch; implies both parent families).
+	sig *sketch.Signature
 }
 
 // ProfileOptions tunes profile construction.
@@ -119,6 +125,11 @@ func NewProfileFor(a *aig.AIG, opts ProfileOptions, needs Artifacts) *Profile {
 // options; the service's profile cache uses it to upgrade a cached
 // partial profile instead of recomputing families it already has.
 func (p *Profile) add(a *aig.AIG, opts ProfileOptions, needs Artifacts) {
+	// The sketch is derived from the WL histogram and the NetSimile
+	// features, so requesting it pulls in both parents.
+	if needs&NeedSketch != 0 {
+		needs |= NeedWL | NeedNetSimile
+	}
 	needs &^= p.has
 	if needs == 0 {
 		return
@@ -172,11 +183,23 @@ func (p *Profile) add(a *aig.AIG, opts ProfileOptions, needs Artifacts) {
 		p.reductions = OptReductions(a)
 		sp.End()
 	}
+
+	if needs&NeedSketch != 0 {
+		// Both parents are guaranteed present: either computed above or
+		// already in p.has from an earlier staged build.
+		sp := telemetry.StartSpan("profile/sketch")
+		p.sig = sketch.New(p.wlHist, p.features[:])
+		sp.End()
+	}
 	p.has |= needs
 }
 
 // Has reports the artifact families this profile carries.
 func (p *Profile) Has() Artifacts { return p.has }
+
+// Sketch returns the profile's retrieval signature, or nil when
+// NeedSketch was never requested.
+func (p *Profile) Sketch() *sketch.Signature { return p.sig }
 
 // Extend computes, in place, any artifact families in needs that the
 // profile does not yet carry, using the profile's own AIG. Callers that

@@ -1,6 +1,7 @@
 package simil
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -270,8 +271,45 @@ func TestNeedsUnion(t *testing.T) {
 	if got := Needs(byName("VEO", "ASD")); got != NeedOverlap|NeedSpectrum {
 		t.Errorf("Needs(VEO,ASD) = %b", got)
 	}
-	if got := Needs(Metrics()); got != AllArtifacts {
-		t.Errorf("Needs(all) = %b, want AllArtifacts", got)
+	// No metric reads the sketch directly — it is a retrieval artifact,
+	// requested explicitly by indexing callers.
+	if got := Needs(Metrics()); got != AllArtifacts&^NeedSketch {
+		t.Errorf("Needs(all) = %b, want AllArtifacts minus sketch", got)
+	}
+}
+
+// TestSketchArtifact: NeedSketch pulls in its parent families, the
+// signature is byte-stable across staged and up-front builds, and a
+// profile built without it carries none.
+func TestSketchArtifact(t *testing.T) {
+	r := rand.New(rand.NewSource(157))
+	spec := []tt.TT{tt.Random(6, r), tt.Random(6, r)}
+	g := synth.SynthSOP(spec)
+	opts := ProfileOptions{Seed: 4}
+
+	direct := NewProfileFor(g, opts, NeedSketch)
+	if got := direct.Has(); got != NeedSketch|NeedWL|NeedNetSimile {
+		t.Fatalf("NeedSketch profile has %b, want sketch plus parents", got)
+	}
+	if direct.Sketch() == nil {
+		t.Fatal("NeedSketch profile has nil signature")
+	}
+
+	staged := NewProfileFor(g, opts, NeedWL)
+	staged.Extend(opts, NeedSketch)
+	full := NewProfile(g, opts)
+	if full.Sketch() == nil {
+		t.Fatal("AllArtifacts profile has nil signature")
+	}
+	want := direct.Sketch().Encode()
+	for name, p := range map[string]*Profile{"staged": staged, "full": full} {
+		if !bytes.Equal(p.Sketch().Encode(), want) {
+			t.Errorf("%s build produced a different signature", name)
+		}
+	}
+
+	if plain := NewProfileFor(g, opts, NeedOverlap); plain.Sketch() != nil {
+		t.Error("profile without NeedSketch carries a signature")
 	}
 }
 

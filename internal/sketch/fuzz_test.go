@@ -1,0 +1,35 @@
+package sketch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCodec drives the signature codec with arbitrary bytes: every
+// input either fails to decode or decodes to a signature whose
+// canonical encoding reproduces the input byte-for-byte (the codec is
+// a bijection on well-formed encodings). Decode must never panic.
+func FuzzCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{SignatureVersion})
+	f.Add((&Signature{}).Encode())
+	sig := New(map[string]int{"0:aa": 2, "1:bb": 1}, []float64{1, -2, 3})
+	f.Add(sig.Encode())
+	// One-past / one-short length probes.
+	f.Add(append(sig.Encode(), 0))
+	f.Add(sig.Encode()[:EncodedLen-1])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(dec.Encode(), data) {
+			t.Fatalf("encode(decode(b)) != b for %d-byte input", len(data))
+		}
+		// Round-trip again through the struct: Decode must be stable.
+		dec2, err := Decode(dec.Encode())
+		if err != nil || *dec2 != *dec {
+			t.Fatal("decode not stable over its own re-encoding")
+		}
+	})
+}

@@ -1,0 +1,234 @@
+package repro
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/simil"
+	"repro/internal/sketch"
+	"repro/internal/synth"
+	"repro/internal/tt"
+)
+
+// ---------------------------------------------------------------------
+// The sketch retrieval contract: on a ≥1k corpus of synthesized
+// variants, sketch-pruned k-NN must reach recall@10 ≥ 0.95 against the
+// exact pair loop while spending ≥10x fewer full metric evaluations.
+// TestSketchRecallContract asserts it; `make bench` snapshots the
+// measured numbers into BENCH_sketch.json (see bench_json_test.go).
+// ---------------------------------------------------------------------
+
+const (
+	sketchCorpusFamilies = 75 // families × ~14 variants ≈ 1050 graphs
+	sketchRecallK        = 10
+	sketchCandBudget     = 100
+)
+
+type sketchVariant struct {
+	fp      string
+	profile *simil.Profile
+}
+
+var sketchCorpusOnce = struct {
+	sync.Once
+	variants []sketchVariant
+	index    *sketch.Index
+	families [][]int // variant indices per family, for sanity checks
+}{}
+
+// sketchCorpus synthesizes the retrieval corpus once per test binary:
+// families of structural near-duplicates — one synthesis recipe
+// (rotating per family) over a random 6-input function and thirteen
+// single-minterm perturbations of it — profiled with the sketch
+// artifact and indexed. Families make top-10 retrieval meaningful:
+// each query has ≥10 genuinely similar graphs amid a cloud of
+// unrelated functions, the near-duplicate regime the index exists
+// for. (On a corpus of near-equidistant graphs recall@k is an
+// information-theoretic coin flip for any sub-quadratic method; that
+// regime is what the exact=true fallback is for.)
+func sketchCorpus(tb testing.TB) ([]sketchVariant, *sketch.Index, [][]int) {
+	tb.Helper()
+	sketchCorpusOnce.Do(func() {
+		r := rand.New(rand.NewSource(9001))
+		recipes := synth.Recipes()
+		ix := sketch.NewIndex()
+		seen := make(map[string]bool)
+		var variants []sketchVariant
+		var families [][]int
+		for fam := 0; fam < sketchCorpusFamilies; fam++ {
+			rec := recipes[fam%len(recipes)]
+			f := tt.Random(7, r)
+			specs := [][]tt.TT{{f}}
+			for _, m := range r.Perm(1 << 7)[:13] {
+				f2 := f.Clone()
+				f2.SetBit(m, !f2.Bit(m))
+				specs = append(specs, []tt.TT{f2})
+			}
+			var members []int
+			for _, spec := range specs {
+				g := rec.Build(spec)
+				fp := g.Fingerprint()
+				if seen[fp] {
+					continue
+				}
+				seen[fp] = true
+				p := simil.NewProfileFor(g, simil.ProfileOptions{}, simil.NeedSketch)
+				members = append(members, len(variants))
+				variants = append(variants, sketchVariant{fp: fp, profile: p})
+				ix.Insert(fp, p.Sketch())
+			}
+			families = append(families, members)
+		}
+		sketchCorpusOnce.variants = variants
+		sketchCorpusOnce.index = ix
+		sketchCorpusOnce.families = families
+	})
+	return sketchCorpusOnce.variants, sketchCorpusOnce.index, sketchCorpusOnce.families
+}
+
+// exactTopK ranks the whole corpus against query q by WLKernel
+// (descending; fingerprint breaks ties) — the ground truth.
+func exactTopK(variants []sketchVariant, q, k int) []string {
+	type scored struct {
+		fp    string
+		score float64
+	}
+	all := make([]scored, 0, len(variants)-1)
+	for i := range variants {
+		if i == q {
+			continue
+		}
+		all = append(all, scored{variants[i].fp, simil.WLKernel(variants[q].profile, variants[i].profile)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].fp < all[j].fp
+	})
+	out := make([]string, 0, k)
+	for i := 0; i < k && i < len(all); i++ {
+		out = append(out, all[i].fp)
+	}
+	return out
+}
+
+// sketchTopK is the two-stage path: WL-band retrieval caps the
+// candidate set, then the full metric ranks only the survivors.
+// Returns the top-k and the number of full evaluations spent.
+func sketchTopK(variants []sketchVariant, ix *sketch.Index, byFP map[string]int, q, k, budget int) ([]string, int) {
+	qp := variants[q].profile
+	qs := qp.Sketch()
+	cands, _ := ix.Query(variants[q].fp, qs, qs.Distance, budget)
+	type scored struct {
+		fp    string
+		score float64
+	}
+	ranked := make([]scored, 0, len(cands))
+	for _, c := range cands {
+		ranked = append(ranked, scored{c.FP, simil.WLKernel(qp, variants[byFP[c.FP]].profile)})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].fp < ranked[j].fp
+	})
+	out := make([]string, 0, k)
+	for i := 0; i < k && i < len(ranked); i++ {
+		out = append(out, ranked[i].fp)
+	}
+	return out, len(ranked)
+}
+
+// TestSketchRecallContract measures recall@10 of sketch-pruned k-NN
+// against the exact pair loop over the ≥1k corpus and asserts the
+// recall-vs-cost contract DESIGN.md documents. The measured numbers
+// also feed the BENCH_sketch.json snapshot.
+func TestSketchRecallContract(t *testing.T) {
+	variants, ix, families := sketchCorpus(t)
+	if len(variants) < 1000 {
+		t.Fatalf("corpus has %d variants, want >= 1000", len(variants))
+	}
+	byFP := make(map[string]int, len(variants))
+	for i, v := range variants {
+		byFP[v.fp] = i
+	}
+
+	// One query per family: its first member, so every query has a
+	// full complement of similar graphs to retrieve.
+	totalRecall := 0.0
+	queries := 0
+	sketchEvals := 0
+	for _, fam := range families {
+		if len(fam) == 0 {
+			continue
+		}
+		q := fam[0]
+		exact := exactTopK(variants, q, sketchRecallK)
+		approx, evals := sketchTopK(variants, ix, byFP, q, sketchRecallK, sketchCandBudget)
+		sketchEvals += evals
+		inExact := make(map[string]bool, len(exact))
+		for _, fp := range exact {
+			inExact[fp] = true
+		}
+		hit := 0
+		for _, fp := range approx {
+			if inExact[fp] {
+				hit++
+			}
+		}
+		totalRecall += float64(hit) / float64(len(exact))
+		queries++
+	}
+	recall := totalRecall / float64(queries)
+	exactPerQuery := float64(len(variants) - 1)
+	sketchPerQuery := float64(sketchEvals) / float64(queries)
+	ratio := exactPerQuery / sketchPerQuery
+
+	t.Logf("corpus=%d queries=%d recall@%d=%.4f evals exact=%.0f sketch=%.1f ratio=%.1fx",
+		len(variants), queries, sketchRecallK, recall, exactPerQuery, sketchPerQuery, ratio)
+
+	if recall < 0.95 {
+		t.Errorf("recall@%d = %.4f, want >= 0.95", sketchRecallK, recall)
+	}
+	if ratio < 10 {
+		t.Errorf("full-eval ratio = %.1fx, want >= 10x", ratio)
+	}
+	recordSketchRecall(sketchRecallReport{
+		Corpus:              len(variants),
+		Queries:             queries,
+		K:                   sketchRecallK,
+		CandidateBudget:     sketchCandBudget,
+		RecallAtK:           recall,
+		ExactEvalsPerQuery:  exactPerQuery,
+		SketchEvalsPerQuery: sketchPerQuery,
+		EvalRatio:           ratio,
+	})
+}
+
+// BenchmarkSketchNeighbors times one k-NN query both ways over the 1k
+// corpus — the wall-clock side of the recall-vs-cost contract.
+func BenchmarkSketchNeighbors(b *testing.B) {
+	variants, ix, _ := sketchCorpus(b)
+	byFP := make(map[string]int, len(variants))
+	for i, v := range variants {
+		byFP[v.fp] = i
+	}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			exactTopK(variants, i%len(variants), sketchRecallK)
+		}
+		b.ReportMetric(float64(len(variants)-1), "evals/op")
+	})
+	b.Run("sketch", func(b *testing.B) {
+		evals := 0
+		for i := 0; i < b.N; i++ {
+			_, n := sketchTopK(variants, ix, byFP, i%len(variants), sketchRecallK, sketchCandBudget)
+			evals += n
+		}
+		b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+	})
+}

@@ -13,7 +13,8 @@
 //	     [-store-entries N] [-spill-dir DIR] [-spill-threshold BYTES]
 //	     [-drain-timeout DUR] [-events FILE] [-trace] [-trace-entries N]
 //	     [-trace-slow N] [-trace-sample RATE] [-slo DUR]
-//	     [-node-id ID -peers ID=URL,ID=URL,...] [-replication R]
+//	     [-node-id ID -peers ID=URL,... | -peers-file FILE]
+//	     [-cluster-epoch N] [-join] [-replication R]
 //	     [-vnodes N] [-probe-interval DUR] [-peer-timeout DUR]
 //
 // The API is mounted alongside the telemetry endpoints (/metrics,
@@ -25,12 +26,24 @@
 // SIGINT the daemon stops admitting work, drains in-flight jobs for up
 // to -drain-timeout, then exits.
 //
-// -node-id plus -peers turn the daemon into one member of a static
-// cluster (see internal/cluster): fingerprints are routed on a
-// consistent-hash ring with -replication owners per key, result-cache
-// misses are filled from the owning peer, and per-peer health probes
-// evict dead peers from routing until they recover. The peer list must
-// be identical on every member and include this node's own ID.
+// -node-id plus -peers (or -peers-file) turn the daemon into one
+// member of a cluster (see internal/cluster): fingerprints are routed
+// on a consistent-hash ring with -replication owners per key,
+// result-cache misses are filled from the owning peer, and per-peer
+// health probes evict dead peers from routing until they recover. The
+// seed peer list must agree across members and include this node's own
+// ID; afterwards membership is dynamic:
+//
+//   - SIGHUP re-reads -peers-file and proposes the new membership at
+//     the next epoch — moved keys are streamed to their new owners
+//     before the routing table switches, so config reload never needs
+//     a restart (send the signal to every member).
+//   - SIGUSR1 (or POST /v1/cluster/drain) drains the node: it leaves
+//     routing immediately, pre-copies its owned keys to their
+//     successors, and keeps answering peers until the copy is done.
+//   - -join boots the node as a new member entering an existing
+//     cluster at -cluster-epoch: receiving-only until the old members
+//     finish backfilling it (drive the flow with `aigw join`).
 package main
 
 import (
@@ -48,6 +61,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faultinject"
 	"repro/internal/service"
+	"repro/internal/service/client"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
 )
@@ -75,6 +89,26 @@ func parsePeers(spec string) (map[string]string, error) {
 	return peers, nil
 }
 
+// parsePeersFile reads a membership file: one ID=URL per line (commas
+// work too), blank lines and #-comments ignored. The same file drives
+// boot and SIGHUP reload, so membership changes are an edit plus a
+// signal, not a restart.
+func parsePeersFile(path string) (map[string]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entries = append(entries, line)
+	}
+	return parsePeers(strings.Join(entries, ","))
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -95,8 +129,11 @@ func run() int {
 	traceSlow := flag.Int("trace-slow", 0, "always keep the N slowest traces (0 = 64)")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of unremarkable traces to keep (0 = 0.1)")
 	slo := flag.Duration("slo", 0, "per-endpoint latency SLO for RED breach counters (0 = 500ms)")
-	nodeID := flag.String("node-id", "", "cluster member ID (requires -peers)")
-	peersSpec := flag.String("peers", "", "static cluster membership as ID=URL,ID=URL,... (must include -node-id)")
+	nodeID := flag.String("node-id", "", "cluster member ID (requires -peers or -peers-file)")
+	peersSpec := flag.String("peers", "", "cluster membership as ID=URL,ID=URL,... (must include -node-id)")
+	peersFile := flag.String("peers-file", "", "cluster membership file (one ID=URL per line; SIGHUP re-reads it and reconfigures without restart)")
+	clusterEpoch := flag.Uint64("cluster-epoch", 0, "membership epoch the peer list corresponds to (0 = 1; set when rejoining an advanced cluster)")
+	join := flag.Bool("join", false, "boot as a new member entering an existing cluster: receiving-only until backfill completes")
 	replication := flag.Int("replication", 0, "owners per ring key (0 = 2)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per member (0 = 64)")
 	probeInterval := flag.Duration("probe-interval", 0, "peer health probe cadence (0 = 500ms)")
@@ -151,15 +188,29 @@ func run() int {
 
 	var node *cluster.Node
 	apiHandler := svc.Handler()
-	if *nodeID != "" || *peersSpec != "" {
-		peers, err := parsePeers(*peersSpec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "aigd: bad -peers:", err)
+	if *nodeID != "" || *peersSpec != "" || *peersFile != "" {
+		var peers map[string]string
+		var err error
+		switch {
+		case *peersSpec != "" && *peersFile != "":
+			fmt.Fprintln(os.Stderr, "aigd: -peers and -peers-file are mutually exclusive")
 			return 2
+		case *peersFile != "":
+			if peers, err = parsePeersFile(*peersFile); err != nil {
+				fmt.Fprintln(os.Stderr, "aigd: bad -peers-file:", err)
+				return 2
+			}
+		default:
+			if peers, err = parsePeers(*peersSpec); err != nil {
+				fmt.Fprintln(os.Stderr, "aigd: bad -peers:", err)
+				return 2
+			}
 		}
 		node, err = cluster.New(svc, cluster.Config{
 			NodeID:             *nodeID,
 			Peers:              peers,
+			Epoch:              *clusterEpoch,
+			Join:               *join,
 			Replication:        *replication,
 			VNodes:             *vnodes,
 			ProbeInterval:      *probeInterval,
@@ -171,7 +222,12 @@ func run() int {
 			return 2
 		}
 		apiHandler = node.Handler()
-		fmt.Fprintf(os.Stderr, "aigd: cluster mode: node %s of %d members\n", *nodeID, len(peers))
+		mode := "member"
+		if *join {
+			mode = "joining member"
+		}
+		fmt.Fprintf(os.Stderr, "aigd: cluster mode: %s %s of %d (epoch %d)\n",
+			mode, *nodeID, len(peers), node.Epoch())
 	}
 
 	mux := http.NewServeMux()
@@ -191,6 +247,62 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	if node != nil {
+		opsig := make(chan os.Signal, 2)
+		signal.Notify(opsig, syscall.SIGHUP, syscall.SIGUSR1)
+		defer signal.Stop(opsig)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case sig := <-opsig:
+					switch sig {
+					case syscall.SIGUSR1:
+						// Operator-initiated drain: leave routing, pre-copy
+						// owned keys, keep answering peers until empty.
+						if err := node.StartDrain(); err != nil {
+							fmt.Fprintln(os.Stderr, "aigd: drain:", err)
+							continue
+						}
+						fmt.Fprintln(os.Stderr, "aigd: draining (SIGUSR1): left routing, handing off owned keys")
+					case syscall.SIGHUP:
+						// Config reload without restart: re-read the
+						// membership file and propose it at the next epoch.
+						if *peersFile == "" {
+							fmt.Fprintln(os.Stderr, "aigd: SIGHUP ignored: no -peers-file to reload")
+							continue
+						}
+						peers, err := parsePeersFile(*peersFile)
+						if err != nil {
+							fmt.Fprintln(os.Stderr, "aigd: reload:", err)
+							continue
+						}
+						cur := node.Status().Members
+						var joining []string
+						for id := range peers {
+							if _, ok := cur[id]; !ok {
+								joining = append(joining, id)
+							}
+						}
+						req := client.ReconfigureRequest{
+							Epoch:   node.Epoch() + 1,
+							Peers:   peers,
+							Joining: joining,
+						}
+						if err := node.Reconfigure(req); err != nil {
+							fmt.Fprintln(os.Stderr, "aigd: reconfigure:", err)
+							continue
+						}
+						fmt.Fprintf(os.Stderr, "aigd: reconfiguring to epoch %d with %d members (%d joining)\n",
+							req.Epoch, len(peers), len(joining))
+					}
+				}
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "aigd:", err)

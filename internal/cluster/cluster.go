@@ -1,7 +1,9 @@
 // Package cluster turns a set of aigd daemons into one logical
-// scoring service with static membership: every node knows the full
-// peer list up front, and a consistent-hash ring (internal/cluster/ring)
-// assigns each fingerprint pair to R owner nodes.
+// scoring service with dynamic membership: every node starts from a
+// seed peer list, a consistent-hash ring (internal/cluster/ring)
+// assigns each fingerprint pair to R owner nodes, and the member list
+// itself evolves under a monotonically increasing epoch (see
+// membership.go for the reconfigure / drain / join machinery).
 //
 // The design leans entirely on one invariant from internal/service:
 // scores are a pure function of (fingerprint pair, metric), because
@@ -23,11 +25,13 @@
 //     local compute. The answer is always produced; health only moves
 //     *where*.
 //
-// Ownership is static: per-peer health (periodic probes plus inline
-// failure counting plus client breaker state) gates which owners are
-// *asked*, never which owners *are*. A downed node keeps its ranges
-// and re-enters them unchanged when probes re-admit it, so flapping
-// health cannot migrate data.
+// Within one epoch, ownership is static: per-peer health (periodic
+// probes plus inline failure counting plus client breaker state) gates
+// which owners are *asked*, never which owners *are*. A downed node
+// keeps its ranges and re-enters them unchanged when probes re-admit
+// it, so flapping health cannot migrate data. Data migrates only on an
+// explicit epoch change, and then only after the moved keys were
+// streamed to their new owners (handoff-before-install).
 package cluster
 
 import (
@@ -35,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,10 +74,24 @@ const (
 type Config struct {
 	// NodeID is this node's member name; it must be a key of Peers.
 	NodeID string
-	// Peers maps every member ID (this node included) to its base URL.
-	// The set must be identical on every node — membership is static
-	// and ring placement depends only on the sorted ID list.
+	// Peers maps every member ID (this node included) to its base URL
+	// — the seed membership. It must agree with the other members'
+	// view at Epoch (ring placement depends only on the sorted ID
+	// list); afterwards membership evolves through Reconfigure and
+	// announces.
 	Peers map[string]string
+	// Epoch is the membership epoch Peers corresponds to (default 1).
+	// A node rejoining a cluster that has moved past epoch 1 must boot
+	// at the cluster's current epoch or it will refuse its peers'
+	// traffic.
+	Epoch uint64
+	// Join marks this node as a fresh member entering an existing
+	// cluster: it boots receiving-only (external API and healthz
+	// answer 503) and activates when the first announce or peer RPC
+	// arrives at its own epoch — proof that the old members installed
+	// the ring that includes it, which happens only after their
+	// handoff streamed this node's keys to it.
+	Join bool
 	// Replication is the number of owner nodes per key (default
 	// ring.DefaultReplication); VNodes the virtual nodes per member
 	// (default ring.DefaultVNodes). Must match cluster-wide.
@@ -106,7 +125,17 @@ type Config struct {
 	HTTPClient *http.Client
 }
 
+// Peer client backoff pacing, shared by standing peers and ephemeral
+// handoff targets.
+const (
+	peerBaseBackoff = 25 * time.Millisecond
+	peerMaxBackoff  = 250 * time.Millisecond
+)
+
 func (c Config) withDefaults() Config {
+	if c.Epoch == 0 {
+		c.Epoch = 1
+	}
 	if c.Replication <= 0 {
 		c.Replication = ring.DefaultReplication
 	}
@@ -142,10 +171,18 @@ type Node struct {
 	svc   *service.Server
 	table *ring.Table
 
-	peers    map[string]*client.Client // every member except self
-	peerIDs  []string                  // sorted, excludes self
-	pm       map[string]peerInstruments
-	failures map[string]*atomic.Int64 // consecutive failures per peer
+	// members is the current epoch's peer wiring (clients,
+	// instruments, failure counters); memberMu serializes writers
+	// (installMembership) — readers load the pointer lock-free.
+	members  atomic.Pointer[memberView]
+	memberMu sync.Mutex
+
+	// state is the lifecycle state (active / joining / draining);
+	// reconfiguring admits at most one membership operation at a time
+	// (a CAS guard, not a mutex — the operation spans network I/O).
+	state         atomic.Int32
+	reconfiguring atomic.Bool
+	handoff       handoffProgress
 
 	fills fillGroup
 
@@ -174,45 +211,38 @@ func New(svc *service.Server, cfg Config) (*Node, error) {
 	for id := range cfg.Peers {
 		ids = append(ids, id)
 	}
-	table, err := ring.NewTable(ids, cfg.VNodes, cfg.Replication)
+	table, err := ring.NewTableAt(ids, cfg.VNodes, cfg.Replication, cfg.Epoch)
 	if err != nil {
 		return nil, err
 	}
 	n := &Node{
-		cfg:      cfg,
-		svc:      svc,
-		table:    table,
-		peers:    make(map[string]*client.Client, len(ids)-1),
-		pm:       make(map[string]peerInstruments, len(ids)-1),
-		failures: make(map[string]*atomic.Int64, len(ids)-1),
+		cfg:   cfg,
+		svc:   svc,
+		table: table,
+	}
+	if cfg.Join {
+		n.state.Store(stateJoining)
 	}
 	//lint:ignore ctxflow the node base context is the member-lifetime root, canceled in Close — probes and replication derive from it
 	n.baseCtx, n.baseCancel = context.WithCancel(context.Background())
 	n.fills.calls = make(map[string]*fillCall)
-	for _, id := range table.Ring().Members() {
-		if id == cfg.NodeID {
-			continue
-		}
-		c, err := client.New(client.Config{
-			BaseURL:        cfg.Peers[id],
-			HTTPClient:     cfg.HTTPClient,
-			MaxAttempts:    cfg.PeerMaxAttempts,
-			AttemptTimeout: cfg.PeerAttemptTimeout,
-			BaseBackoff:    25 * time.Millisecond,
-			MaxBackoff:     250 * time.Millisecond,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("cluster: peer %s: %w", id, err)
-		}
-		n.peers[id] = c
-		n.peerIDs = append(n.peerIDs, id)
-		n.pm[id] = newPeerInstruments(id)
-		n.failures[id] = &atomic.Int64{}
+	v, err := n.buildView(cfg.Peers, nil)
+	if err != nil {
+		return nil, err
 	}
+	n.members.Store(v)
 	svc.SetClusterHooks(n.routePair, n.onIntern)
+	svc.SetDrainRetryHint(n.drainRetrySeconds)
 	n.wg.Add(1)
 	go n.probeLoop()
 	return n, nil
+}
+
+// stampEpoch writes this node's installed epoch onto an outgoing peer
+// request — read at send time, so a client surviving a reconfiguration
+// stamps the new epoch on its next call.
+func (n *Node) stampEpoch(h http.Header) {
+	h.Set(client.EpochHeader, strconv.FormatUint(n.table.Epoch(), 10))
 }
 
 // Close cancels the node-lifetime context — stopping the prober and
@@ -318,23 +348,38 @@ func (n *Node) fillLeader(ctx context.Context, key, fpA, fpB string, names []str
 		// owner answer from its own store if it can.
 		req.AIGERA, _ = n.svc.AIGERFor(fpA)
 		req.AIGERB, _ = n.svc.AIGERFor(fpB)
+		v := n.view()
 		for _, id := range n.table.Owners(key) { // alive owners only
 			if id == n.cfg.NodeID {
 				continue
 			}
-			scores, err := n.peers[id].ClusterFill(ctx, req)
+			c := v.peers[id]
+			if c == nil {
+				continue // owner left between lookup and view load
+			}
+			scores, err := c.ClusterFill(ctx, req)
 			if err == nil {
 				n.peerOK(id)
 				n.svc.FillPairCache(fpA, fpB, scores)
-				telemetry.Add(n.pm[id].fills, 1)
+				telemetry.Add(v.pm[id].fills, 1)
 				telemetry.Add("cluster/fills", 1)
 				return scores, nil
 			}
 			if ctx.Err() != nil {
 				return nil, err
 			}
+			var se *client.StaleEpochError
+			if errors.As(err, &se) {
+				// The peer is healthy, just on a different epoch:
+				// converge (adopt or push) instead of counting a
+				// failure, and fall back to the degraded local path —
+				// the answer is bit-identical anywhere.
+				n.resolveEpochConflict(ctx, se)
+				trace.AddEvent(ctx, "cluster_fill_epoch_conflict", trace.A("peer", id))
+				continue
+			}
 			n.peerFail(id)
-			telemetry.Add(n.pm[id].fillFailures, 1)
+			telemetry.Add(v.pm[id].fillFailures, 1)
 			telemetry.Add("cluster/fill_failures", 1)
 			trace.AddEvent(ctx, "cluster_fill_failover", trace.A("peer", id))
 		}
@@ -366,15 +411,20 @@ func (n *Node) replicateResult(ctx context.Context, fpA, fpB string, scores map[
 			telemetry.Add("cluster/replication_failures", 1)
 			return
 		}
+		v := n.view()
 		for _, id := range targets {
-			if err := n.peers[id].ClusterPutResult(rctx, fpA, fpB, scores); err != nil {
+			c := v.peers[id]
+			if c == nil {
+				continue
+			}
+			if err := c.ClusterPutResult(rctx, fpA, fpB, scores); err != nil {
 				n.peerFail(id)
-				telemetry.Add(n.pm[id].replicationFailures, 1)
+				telemetry.Add(v.pm[id].replicationFailures, 1)
 				telemetry.Add("cluster/replication_failures", 1)
 				continue
 			}
 			n.peerOK(id)
-			telemetry.Add(n.pm[id].replications, 1)
+			telemetry.Add(v.pm[id].replications, 1)
 			telemetry.Add("cluster/replications", 1)
 		}
 	}()
@@ -408,15 +458,20 @@ func (n *Node) onIntern(ctx context.Context, v service.AIGView) {
 			telemetry.Add("cluster/replication_failures", 1)
 			return
 		}
+		v := n.view()
 		for _, id := range targets {
-			if _, err := n.peers[id].ClusterPutAIG(rctx, payload); err != nil {
+			c := v.peers[id]
+			if c == nil {
+				continue
+			}
+			if _, err := c.ClusterPutAIG(rctx, payload); err != nil {
 				n.peerFail(id)
-				telemetry.Add(n.pm[id].replicationFailures, 1)
+				telemetry.Add(v.pm[id].replicationFailures, 1)
 				telemetry.Add("cluster/replication_failures", 1)
 				continue
 			}
 			n.peerOK(id)
-			telemetry.Add(n.pm[id].replications, 1)
+			telemetry.Add(v.pm[id].replications, 1)
 			telemetry.Add("cluster/replications", 1)
 		}
 	}()
@@ -431,22 +486,27 @@ func (n *Node) ensureLocal(ctx context.Context, fp string) error {
 	if n.svc.HasAIG(fp) {
 		return nil
 	}
+	v := n.view()
 	owners := n.table.Owners(fp) // alive owners first
 	seen := map[string]bool{n.cfg.NodeID: true}
-	candidates := make([]string, 0, len(n.peerIDs))
+	candidates := make([]string, 0, len(v.peerIDs))
 	for _, id := range owners {
 		if !seen[id] {
 			seen[id] = true
 			candidates = append(candidates, id)
 		}
 	}
-	for _, id := range n.peerIDs {
+	for _, id := range v.peerIDs {
 		if !seen[id] && !n.table.IsDown(id) {
 			candidates = append(candidates, id)
 		}
 	}
 	for _, id := range candidates {
-		payload, err := n.peers[id].ClusterGetAIGER(ctx, fp)
+		c := v.peers[id]
+		if c == nil {
+			continue
+		}
+		payload, err := c.ClusterGetAIGER(ctx, fp)
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()

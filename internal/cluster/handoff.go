@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/cluster/ring"
+	"repro/internal/faultinject"
+	"repro/internal/service/client"
+	"repro/internal/telemetry"
+)
+
+// Fault points of the membership engine, one instrumentation site each.
+const (
+	// PointHandoffAIG and PointHandoffResult fail individual handoff
+	// transfers — the kill-source-mid-handoff and torn-stream chaos
+	// scenarios.
+	PointHandoffAIG    = "cluster/handoff_aig"
+	PointHandoffResult = "cluster/handoff_result"
+	// PointEpochInstall fails the table install after a successful
+	// handoff — the partition-during-epoch-install chaos scenario: the
+	// keys were streamed but this node keeps routing by the old ring
+	// until anti-entropy (announce / 409 repair) converges it.
+	PointEpochInstall = "cluster/epoch_install"
+)
+
+// handoffKeysPerSecond is the pacing estimate behind drain-mode
+// Retry-After hints: how many key transfers a node is assumed to
+// complete per second. Deliberately conservative — a hint that is too
+// high makes refused clients hammer a still-busy node.
+const handoffKeysPerSecond = 64
+
+type handoffKind int
+
+const (
+	handoffAIG handoffKind = iota
+	handoffResult
+)
+
+// handoffItem is one key that must reach new owners before a
+// membership change completes.
+type handoffItem struct {
+	kind    handoffKind
+	key     string
+	targets []string
+	put     func(ctx context.Context, c *client.Client) error
+}
+
+// handoffProgress tracks the current (or, once inactive, the last)
+// handoff run. Counters are atomics so Status can read them while the
+// run is streaming.
+type handoffProgress struct {
+	active              atomic.Bool
+	total, sent, failed atomic.Int64
+}
+
+func (p *handoffProgress) begin(total int) {
+	p.total.Store(int64(total))
+	p.sent.Store(0)
+	p.failed.Store(0)
+	p.active.Store(true)
+}
+
+func (p *handoffProgress) snapshot() client.HandoffProgress {
+	return client.HandoffProgress{
+		Active: p.active.Load(),
+		Total:  p.total.Load(),
+		Sent:   p.sent.Load(),
+		Failed: p.failed.Load(),
+	}
+}
+
+// drainRetrySeconds estimates how long a refused client should wait
+// while this node drains: the remaining handoff backlog at the assumed
+// transfer rate. Once the handoff is done (or none is running) the
+// successors already hold everything — retry (elsewhere) immediately.
+func (n *Node) drainRetrySeconds() int {
+	const capSeconds = 30
+	if !n.handoff.active.Load() {
+		return 1
+	}
+	remaining := n.handoff.total.Load() - n.handoff.sent.Load()
+	if remaining < 0 {
+		remaining = 0
+	}
+	secs := 1 + int(remaining)/handoffKeysPerSecond
+	if secs > capSeconds {
+		secs = capSeconds
+	}
+	return secs
+}
+
+// downSet snapshots the health exclusions as a plain map for plan
+// building.
+func (n *Node) downSet() map[string]bool {
+	out := make(map[string]bool)
+	for _, id := range n.table.Down() {
+		out[id] = true
+	}
+	return out
+}
+
+// primaryAliveSender reports whether this node is the one member
+// responsible for streaming key during a reconfiguration: the first
+// alive owner under the old ring. Every old member runs the same plan
+// over the same ring, so exactly one alive node streams each key —
+// no duplicate transfers, and a dead primary's keys are covered by the
+// next replica.
+func primaryAliveSender(self string, r *ring.Ring, key string, down map[string]bool) bool {
+	for _, id := range r.Owners(key) {
+		if down[id] {
+			continue
+		}
+		return id == self
+	}
+	return false
+}
+
+// handoffPlanReconfigure enumerates what this node must stream for a
+// prev→next membership change: for every locally held key it is the
+// primary alive sender of, the owners gained under next
+// (ring.MovedOwners — ~1/N of the key space) plus, for members listed
+// as Joining, every key they own under next regardless of the diff
+// (a rejoining member's ring positions are unchanged but its stores
+// are empty).
+func handoffPlanReconfigure(n *Node, prev, next *ring.Ring, req client.ReconfigureRequest) []handoffItem {
+	down := n.downSet()
+	joining := make(map[string]bool, len(req.Joining))
+	for _, id := range req.Joining {
+		joining[id] = true
+	}
+	targetsFor := func(key string) []string {
+		moved := ring.MovedOwners(prev, next, key)
+		seen := make(map[string]bool, len(moved))
+		var out []string
+		for _, id := range moved {
+			if id != n.cfg.NodeID && !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		if len(joining) > 0 {
+			for _, id := range next.Owners(key) {
+				if joining[id] && id != n.cfg.NodeID && !seen[id] {
+					seen[id] = true
+					out = append(out, id)
+				}
+			}
+		}
+		return out
+	}
+	var items []handoffItem
+	for _, fp := range n.svc.StoredFingerprints() {
+		if !primaryAliveSender(n.cfg.NodeID, prev, fp, down) {
+			continue
+		}
+		targets := targetsFor(fp)
+		if len(targets) == 0 {
+			continue
+		}
+		payload, err := n.svc.AIGERFor(fp)
+		if err != nil {
+			continue // evicted since enumeration; nothing to stream
+		}
+		items = append(items, handoffItem{
+			kind: handoffAIG, key: fp, targets: targets,
+			put: func(ctx context.Context, c *client.Client) error {
+				_, err := c.ClusterPutAIG(ctx, payload)
+				return err
+			},
+		})
+	}
+	for _, pr := range n.svc.CachedPairResults() {
+		key := ring.PairKey(pr.A, pr.B)
+		if !primaryAliveSender(n.cfg.NodeID, prev, key, down) {
+			continue
+		}
+		targets := targetsFor(key)
+		if len(targets) == 0 {
+			continue
+		}
+		pr := pr
+		items = append(items, handoffItem{
+			kind: handoffResult, key: key, targets: targets,
+			put: func(ctx context.Context, c *client.Client) error {
+				return c.ClusterPutResult(ctx, pr.A, pr.B, pr.Scores)
+			},
+		})
+	}
+	return items
+}
+
+// handoffPlanDrain enumerates a departing node's transfers: every
+// locally held key it owns goes to the member that inherits the
+// ownership slot once this node is excluded from the ring walk — the
+// owners-alive-without-self set minus the normal owner set.
+func handoffPlanDrain(n *Node, cur *ring.Ring) []handoffItem {
+	down := n.downSet()
+	down[n.cfg.NodeID] = true
+	targetsFor := func(key string) []string {
+		owners := cur.Owners(key)
+		owned := false
+		was := make(map[string]bool, len(owners))
+		for _, id := range owners {
+			was[id] = true
+			if id == n.cfg.NodeID {
+				owned = true
+			}
+		}
+		if !owned {
+			return nil
+		}
+		var out []string
+		for _, id := range cur.OwnersAlive(key, down) {
+			if !was[id] {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	var items []handoffItem
+	for _, fp := range n.svc.StoredFingerprints() {
+		targets := targetsFor(fp)
+		if len(targets) == 0 {
+			continue
+		}
+		payload, err := n.svc.AIGERFor(fp)
+		if err != nil {
+			continue
+		}
+		items = append(items, handoffItem{
+			kind: handoffAIG, key: fp, targets: targets,
+			put: func(ctx context.Context, c *client.Client) error {
+				_, err := c.ClusterPutAIG(ctx, payload)
+				return err
+			},
+		})
+	}
+	for _, pr := range n.svc.CachedPairResults() {
+		key := ring.PairKey(pr.A, pr.B)
+		targets := targetsFor(key)
+		if len(targets) == 0 {
+			continue
+		}
+		pr := pr
+		items = append(items, handoffItem{
+			kind: handoffResult, key: key, targets: targets,
+			put: func(ctx context.Context, c *client.Client) error {
+				return c.ClusterPutResult(ctx, pr.A, pr.B, pr.Scores)
+			},
+		})
+	}
+	return items
+}
+
+// runHandoff streams a plan. urls must resolve every target (it may
+// include members not yet in the view — a joining node). In
+// abortOnError mode (reconfigure) the first failed transfer aborts the
+// run: installing the new ring anyway would hand ownership to nodes
+// that never got the keys. In best-effort mode (drain) failures are
+// counted and skipped: the successor recomputes bit-identically on
+// demand, the copy is an optimization.
+func (n *Node) runHandoff(ctx context.Context, items []handoffItem, urls map[string]string, abortOnError bool) error {
+	n.handoff.begin(len(items))
+	defer n.handoff.active.Store(false)
+	extra := make(map[string]*client.Client)
+	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			n.handoff.failed.Add(1)
+			return err
+		}
+		var ferr error
+		if it.kind == handoffAIG {
+			ferr = faultinject.HitCtx(ctx, PointHandoffAIG)
+		} else {
+			ferr = faultinject.HitCtx(ctx, PointHandoffResult)
+		}
+		itemErr := ferr
+		if itemErr == nil {
+			for _, id := range it.targets {
+				c, err := n.handoffClient(extra, urls, id)
+				if err != nil {
+					itemErr = err
+					break
+				}
+				if err := it.put(ctx, c); err != nil {
+					itemErr = err
+					break
+				}
+			}
+		}
+		if itemErr != nil {
+			n.handoff.failed.Add(1)
+			telemetry.Add("cluster/handoff_failures", 1)
+			if abortOnError {
+				return itemErr
+			}
+			continue
+		}
+		n.handoff.sent.Add(1)
+		telemetry.Add("cluster/handoff_keys", 1)
+	}
+	return nil
+}
+
+// handoffClient resolves a transfer target: the standing peer client
+// when the target is already in the view, otherwise an ephemeral
+// client built from the proposed membership (a joining node is a
+// target before it is a member).
+func (n *Node) handoffClient(extra map[string]*client.Client, urls map[string]string, id string) (*client.Client, error) {
+	if c := n.view().peers[id]; c != nil {
+		return c, nil
+	}
+	if c := extra[id]; c != nil {
+		return c, nil
+	}
+	c, err := client.New(client.Config{
+		BaseURL:        urls[id],
+		HTTPClient:     n.cfg.HTTPClient,
+		MaxAttempts:    n.cfg.PeerMaxAttempts,
+		AttemptTimeout: n.cfg.PeerAttemptTimeout,
+		BaseBackoff:    peerBaseBackoff,
+		MaxBackoff:     peerMaxBackoff,
+		Headers:        n.stampEpoch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	extra[id] = c
+	return c, nil
+}
+
+// installEpoch is the commit point of a reconfiguration: the handoff
+// is complete, swap the routing table. The fault point simulates a
+// node partitioned away exactly here — keys streamed, table not
+// installed — which anti-entropy must repair.
+func (n *Node) installEpoch(epoch uint64, urls map[string]string) error {
+	if err := faultinject.HitCtx(n.baseCtx, PointEpochInstall); err != nil {
+		telemetry.Add("cluster/epoch_install_failures", 1)
+		return err
+	}
+	return n.installMembership(epoch, urls)
+}

@@ -37,7 +37,10 @@ func (n *Node) probeLoop() {
 		case <-n.baseCtx.Done():
 			return
 		case <-t.C:
-			for _, id := range n.peerIDs {
+			// The member list is re-read every tick, so a membership
+			// change takes effect at the next round: removed peers
+			// stop being probed, added peers start.
+			for _, id := range n.view().peerIDs {
 				n.probe(id)
 			}
 		}
@@ -48,14 +51,19 @@ func (n *Node) probeLoop() {
 // probe derives from the node-lifetime context, so a peer that stops
 // answering mid-probe cannot delay Close past RPC cancellation.
 func (n *Node) probe(id string) {
+	v := n.view()
+	c := v.peers[id]
+	if c == nil {
+		return // peer left between enumeration and probe
+	}
 	ctx, cancel := context.WithTimeout(n.baseCtx, n.cfg.ProbeTimeout)
 	defer cancel()
 	err := faultinject.HitCtx(ctx, PointProbe)
 	if err == nil {
-		err = n.peers[id].Healthz(ctx)
+		err = c.Healthz(ctx)
 	}
 	if err == nil {
-		if open := n.peers[id].OpenBreakers(); len(open) > 0 {
+		if open := c.OpenBreakers(); len(open) > 0 {
 			err = fmt.Errorf("open breakers: %v", open)
 		}
 	}
@@ -63,7 +71,7 @@ func (n *Node) probe(id string) {
 		if n.baseCtx.Err() != nil {
 			return // probe aborted by Close, not by the peer
 		}
-		telemetry.Add(n.pm[id].probeFailures, 1)
+		telemetry.Add(v.pm[id].probeFailures, 1)
 		n.peerFail(id)
 		return
 	}
@@ -73,12 +81,17 @@ func (n *Node) probe(id string) {
 // peerFail records one failed interaction with a peer; crossing the
 // threshold evicts it from routing.
 func (n *Node) peerFail(id string) {
-	c := n.failures[id].Add(1)
+	v := n.view()
+	f := v.failures[id]
+	if f == nil {
+		return // peer already left the membership
+	}
+	c := f.Add(1)
 	if int(c) < n.cfg.FailureThreshold {
 		return
 	}
 	if n.table.SetDown(id, true) {
-		telemetry.Add(n.pm[id].evictions, 1)
+		telemetry.Add(v.pm[id].evictions, 1)
 		telemetry.Add("cluster/peer_evictions", 1)
 		n.logPeerEvent("peer_down", id, int(c))
 	}
@@ -87,9 +100,14 @@ func (n *Node) peerFail(id string) {
 // peerOK records one successful interaction; a down peer is re-admitted
 // immediately.
 func (n *Node) peerOK(id string) {
-	n.failures[id].Store(0)
+	v := n.view()
+	if f := v.failures[id]; f != nil {
+		f.Store(0)
+	}
 	if n.table.SetDown(id, false) {
-		telemetry.Add(n.pm[id].readmissions, 1)
+		if pm, ok := v.pm[id]; ok {
+			telemetry.Add(pm.readmissions, 1)
+		}
 		telemetry.Add("cluster/peer_readmissions", 1)
 		n.logPeerEvent("peer_up", id, 0)
 	}
@@ -109,6 +127,8 @@ func (n *Node) logPeerEvent(event, id string, failures int) {
 // healthView is the GET /v1/cluster/health answer.
 type healthView struct {
 	Node        string         `json:"node"`
+	State       string         `json:"state"`
+	Epoch       uint64         `json:"epoch"`
 	Members     []string       `json:"members"`
 	Replication int            `json:"replication"`
 	Down        []string       `json:"down"`
@@ -116,19 +136,24 @@ type healthView struct {
 }
 
 func (n *Node) healthSnapshot() healthView {
+	mv := n.view()
 	v := healthView{
 		Node:        n.cfg.NodeID,
+		State:       n.State(),
+		Epoch:       n.table.Epoch(),
 		Members:     n.table.Ring().Members(),
 		Replication: n.table.Ring().Replication(),
 		Down:        n.table.Down(),
-		Failures:    make(map[string]int, len(n.peerIDs)),
+		Failures:    make(map[string]int, len(mv.peerIDs)),
 	}
 	if v.Down == nil {
 		v.Down = []string{}
 	}
 	sort.Strings(v.Down)
-	for _, id := range n.peerIDs {
-		v.Failures[id] = int(n.failures[id].Load())
+	for _, id := range mv.peerIDs {
+		if f := mv.failures[id]; f != nil {
+			v.Failures[id] = int(f.Load())
+		}
 	}
 	return v
 }

@@ -16,10 +16,17 @@
 //     one is O(members·vnodes·log); lookups are O(log points). Adding a
 //     member to the list moves only ~1/N of the key space (the
 //     consistent-hashing property the tests pin).
-//   - Table wraps a Ring with a mutable down-set for health-gated
-//     routing: evicting a member does not rebuild the ring, it only
-//     swaps an atomic exclusion snapshot, so lookups stay lock-free and
-//     a healed member resumes exactly the ranges it owned before.
+//   - Table wraps an epoch-tagged Ring with a mutable down-set for
+//     health-gated routing: evicting a member does not rebuild the
+//     ring, it only swaps an atomic exclusion snapshot, so lookups stay
+//     lock-free and a healed member resumes exactly the ranges it
+//     owned before. Membership changes swap the whole ring under a
+//     monotonically increasing epoch (Install), equally lock-free.
+//
+// MovedOwners is the handoff planner's primitive: given two rings it
+// reports, per key, which members gained ownership — the exact set a
+// planned membership change must stream that key to before the new
+// table is installed.
 package ring
 
 import (
@@ -178,33 +185,106 @@ func PairKey(fpA, fpB string) string {
 	return fpA + "|" + fpB
 }
 
-// Table is a Ring plus a mutable health exclusion set. Lookups read an
-// atomic snapshot of the down-set, so routing never takes a lock and
-// eviction/re-admission are single pointer swaps — membership changes
-// race-free against in-flight lookups (the -race stress test pins
-// this).
-type Table struct {
-	ring *Ring
+// MovedOwners returns the members that own key under next but not
+// under prev: the receivers a planned membership change must stream
+// the key to before installing next. By the consistent-hashing
+// property, adding one member to an N-member ring yields a non-empty
+// result for only ~1/N of the key space — the handoff volume bound.
+func MovedOwners(prev, next *Ring, key string) []string {
+	if prev == next {
+		return nil
+	}
+	old := prev.Owners(key)
+	was := make(map[string]bool, len(old))
+	for _, m := range old {
+		was[m] = true
+	}
+	var out []string
+	for _, m := range next.Owners(key) {
+		if !was[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
 
-	mu   sync.Mutex // serializes writers to down
+// tableState is one epoch's immutable routing view: the ring plus the
+// membership epoch it was installed under.
+type tableState struct {
+	epoch uint64
+	ring  *Ring
+}
+
+// Table is an epoch-tagged Ring plus a mutable health exclusion set.
+// Lookups read atomic snapshots of both, so routing never takes a lock:
+// eviction/re-admission and whole-table replacement (Install) are
+// single pointer swaps — membership changes race-free against
+// in-flight lookups (the -race stress test pins this).
+type Table struct {
+	state atomic.Pointer[tableState]
+
+	mu   sync.Mutex // serializes writers to state and down
 	down atomic.Pointer[map[string]bool]
 }
 
-// NewTable builds a Table with every member initially alive.
+// NewTable builds a Table at epoch 1 with every member initially
+// alive.
 func NewTable(members []string, vnodes, replicas int) (*Table, error) {
+	return NewTableAt(members, vnodes, replicas, 1)
+}
+
+// NewTableAt builds a Table at an explicit starting epoch — the boot
+// path of a node joining (or rejoining) a cluster that has already
+// advanced past epoch 1.
+func NewTableAt(members []string, vnodes, replicas int, epoch uint64) (*Table, error) {
 	r, err := New(members, vnodes, replicas)
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{ring: r}
+	t := &Table{}
+	t.state.Store(&tableState{epoch: epoch, ring: r})
 	empty := map[string]bool{}
 	t.down.Store(&empty)
 	return t, nil
 }
 
-// Ring returns the underlying immutable ring (the static placement
-// view, health ignored).
-func (t *Table) Ring() *Ring { return t.ring }
+// Ring returns the current immutable ring (the static placement view,
+// health ignored).
+func (t *Table) Ring() *Ring { return t.state.Load().ring }
+
+// Epoch returns the membership epoch of the current ring.
+func (t *Table) Epoch() uint64 { return t.state.Load().epoch }
+
+// Install atomically replaces the routing table with a new ring under
+// a strictly greater epoch. A stale or duplicate install (epoch not
+// greater than the current one) is refused — epochs are the total
+// order on membership, so the table can only move forward. Down-marks
+// for members absent from the new ring are dropped so a later rejoin
+// of the same ID starts clean.
+func (t *Table) Install(epoch uint64, r *Ring) bool {
+	if r == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if epoch <= t.state.Load().epoch {
+		return false
+	}
+	keep := make(map[string]bool, len(r.members))
+	for _, m := range r.members {
+		keep[m] = true
+	}
+	cur := *t.down.Load()
+	next := make(map[string]bool, len(cur))
+	for m, d := range cur {
+		if d && keep[m] {
+			next[m] = true
+		}
+	}
+	t.down.Store(&next)
+	t.state.Store(&tableState{epoch: epoch, ring: r})
+	return true
+}
 
 // SetDown marks a member down (evicted from routing) or up
 // (re-admitted). It reports whether the state actually changed.
@@ -250,5 +330,5 @@ func (t *Table) IsDown(member string) bool {
 // owner's ranges fail over to the next replicas clockwise. Empty means
 // every candidate owner is down.
 func (t *Table) Owners(key string) []string {
-	return t.ring.ownersExcluding(key, *t.down.Load())
+	return t.state.Load().ring.ownersExcluding(key, *t.down.Load())
 }

@@ -204,9 +204,20 @@ func TestTableFailover(t *testing.T) {
 
 // TestTableConcurrentMembership is the -race stress: lookups stay
 // consistent (non-empty owner sets, never a down member) while other
-// goroutines continuously evict and re-admit nodes.
+// goroutines continuously evict and re-admit nodes AND a third mutator
+// replaces the whole table with alternating 8- and 9-member rings
+// under increasing epochs — the epoch-install path a live
+// reconfiguration exercises mid-churn.
 func TestTableConcurrentMembership(t *testing.T) {
 	tab, err := NewTable(members(8), 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring8, err := New(members(8), 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring9, err := New(members(9), 32, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,18 +243,50 @@ func TestTableConcurrentMembership(t *testing.T) {
 			}
 		}(g)
 	}
-	// Lookups: owners must be non-empty and duplicate-free whatever the
-	// concurrent membership churn.
+	// Epoch installer: swaps the entire ring (grow to 9, shrink to 8,
+	// …) under strictly increasing epochs, concurrently with the
+	// down-set churn above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rings := [2]*Ring{ring9, ring8}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			epoch := tab.Epoch()
+			if !tab.Install(epoch+1, rings[i%2]) {
+				errc <- fmt.Errorf("install of epoch %d refused", epoch+1)
+				return
+			}
+			if tab.Install(epoch, rings[i%2]) {
+				errc <- fmt.Errorf("stale install at epoch %d accepted", epoch)
+				return
+			}
+		}
+	}()
+	// Lookups: owners must be non-empty and duplicate-free, and the
+	// observed epoch must never move backwards, whatever the concurrent
+	// membership churn and table replacement.
 	for g := 0; g < 4; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(int64(100 + g)))
+			var lastEpoch uint64
 			for {
 				select {
 				case <-stop:
 					return
 				default:
+				}
+				if e := tab.Epoch(); e < lastEpoch {
+					errc <- fmt.Errorf("epoch moved backwards: %d after %d", e, lastEpoch)
+					return
+				} else {
+					lastEpoch = e
 				}
 				key := fmt.Sprintf("fp-%d", r.Intn(4096))
 				owners := tab.Owners(key)
@@ -269,5 +312,104 @@ func TestTableConcurrentMembership(t *testing.T) {
 	case err := <-errc:
 		t.Fatal(err)
 	default:
+	}
+}
+
+// TestTableInstall pins the epoch semantics: installs must move the
+// epoch strictly forward, a refused install leaves the table
+// untouched, and down-marks for members absent from the new ring are
+// dropped while surviving marks persist.
+func TestTableInstall(t *testing.T) {
+	tab, err := NewTable(members(3), 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Epoch(); got != 1 {
+		t.Fatalf("fresh table epoch = %d, want 1", got)
+	}
+	r4, err := New(members(4), 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Install(1, r4) {
+		t.Fatal("install at the current epoch must be refused")
+	}
+	tab.SetDown("n2", true)
+	tab.SetDown("n3", true)
+	if !tab.Install(2, r4) {
+		t.Fatal("install at epoch 2 must succeed")
+	}
+	if got := tab.Epoch(); got != 2 {
+		t.Fatalf("epoch after install = %d, want 2", got)
+	}
+	if got := tab.Ring().Members(); !reflect.DeepEqual(got, members(4)) {
+		t.Fatalf("ring after install has members %v", got)
+	}
+	// Surviving down-marks persist across the install.
+	if got := tab.Down(); !reflect.DeepEqual(got, []string{"n2", "n3"}) {
+		t.Fatalf("down after grow install = %v, want [n2 n3]", got)
+	}
+	// Shrinking back to 2 members drops the mark of the removed n3, so
+	// a later rejoin of the same ID starts clean.
+	r2, err := New(members(2), 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Install(5, r2) {
+		t.Fatal("install at epoch 5 must succeed")
+	}
+	if got := tab.Down(); !reflect.DeepEqual(got, []string{"n2"}) {
+		t.Fatalf("down after shrink install = %v, want [n2]", got)
+	}
+	if tab.Install(4, r4) {
+		t.Fatal("install below the current epoch must be refused")
+	}
+	if got := tab.Epoch(); got != 5 {
+		t.Fatalf("refused install changed the epoch to %d", got)
+	}
+}
+
+// TestMovedOwners pins the handoff planner's bound: growing a ring by
+// one member means only ~1/(N+1) of the keys gain an owner, the gained
+// owner is always the added member, and an unchanged ring moves
+// nothing.
+func TestMovedOwners(t *testing.T) {
+	small, err := New(members(5), 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := New(members(6), 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 5000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("fp-%08d", i)
+		gained := MovedOwners(small, big, key)
+		if len(gained) == 0 {
+			continue
+		}
+		if len(gained) != 1 || gained[0] != "n6" {
+			t.Fatalf("key %q gained owners %v, want exactly the added member", key, gained)
+		}
+		moved++
+		if MovedOwners(big, small, key) == nil {
+			t.Fatalf("key %q moved on grow but not on the inverse shrink", key)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("growing the ring moved nothing")
+	}
+	// Replication 2 on 5→6 members: each of the added member's vnode
+	// arcs displaces one of two owners, so roughly 2/6 of keys gain it.
+	// Allow 2× slack like TestRingStability.
+	if bound := 2 * (2 * keys / 6); moved > bound {
+		t.Fatalf("growing by one moved %d/%d keys, want ≤ %d", moved, keys, bound)
+	}
+	for i := 0; i < 100; i++ {
+		if got := MovedOwners(small, small, fmt.Sprintf("fp-%d", i)); got != nil {
+			t.Fatalf("identical rings moved %v", got)
+		}
 	}
 }

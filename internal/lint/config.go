@@ -79,6 +79,10 @@ func DefaultConfig() *Config {
 			`^\(repro/internal/telemetry\.Registry\)\.(WritePrometheus|WriteJSON|SummaryTable|SpanSeconds)$`,
 			// AIGER serialization: optimized-AIG outputs must be stable.
 			`^repro/internal/aiger\.(WriteASCII|WriteBinary|WriteFile)$`,
+			// Operator CLI emission: aigw health/status output is
+			// diffed across runs (the rolling-restart CI smoke does
+			// exactly that), so it must be byte-stable.
+			`^repro/cmd/aigw\.(printHealth|printStatus)$`,
 		},
 		MetricNameFuncs: map[string]int{
 			"repro/internal/telemetry.Add":                   0,

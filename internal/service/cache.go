@@ -102,6 +102,25 @@ func (c *resultCache) put(key string, val float64) {
 	}
 }
 
+// entries returns every cached (key, value) pair across all shards,
+// without bumping recency — the enumeration base for membership-change
+// key handoff. The slice is a point-in-time copy per shard (the cache
+// may move under a concurrent walk; handoff tolerates that because a
+// result installed anywhere is bit-identical).
+func (c *resultCache) entries() []cacheItem {
+	var out []cacheItem
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.order.Front(); el != nil; el = el.Next() {
+			it := el.Value.(*cacheItem)
+			out = append(out, cacheItem{key: it.key, val: it.val})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // --- singleflight ------------------------------------------------------
 
 // flightGroup deduplicates concurrent identical computations: the first

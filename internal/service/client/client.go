@@ -81,6 +81,13 @@ type Config struct {
 
 	// PollInterval paces Await's job polling (default 50ms).
 	PollInterval time.Duration
+
+	// Headers, when set, decorates every attempt's request headers.
+	// The cluster layer and the gateway use it to stamp the membership
+	// epoch (EpochHeader) onto peer traffic; reading the current epoch
+	// at send time (rather than at client construction) is what lets a
+	// long-lived client survive reconfigurations without being rebuilt.
+	Headers func(h http.Header)
 }
 
 func (c Config) withDefaults() Config {
@@ -242,9 +249,11 @@ func (c *Client) do(ctx context.Context, endpoint, method, path, contentType str
 			br.report(true)
 			return nil
 		}
-		// A contract refusal means the daemon is healthy; only "not
-		// now" answers and transport failures count against it.
-		br.report(!retryable && isAPIError(err))
+		// A contract refusal (or an epoch-mismatch 409, which proves
+		// the daemon is up and answering) means the daemon is healthy;
+		// only "not now" answers and transport failures count against
+		// it.
+		br.report(!retryable && (isAPIError(err) || isStaleEpoch(err)))
 		lastErr = err
 		if !retryable {
 			return fmt.Errorf("aigd %s %s: %w", method, path, err)
@@ -277,6 +286,11 @@ func isAPIError(err error) bool {
 	return errors.As(err, &ae)
 }
 
+func isStaleEpoch(err error) bool {
+	var se *StaleEpochError
+	return errors.As(err, &se)
+}
+
 // attempt performs one HTTP round trip. retryable reports whether the
 // failure is worth another attempt; hint carries the daemon's
 // Retry-After, when present. A configured AttemptTimeout bounds this
@@ -303,6 +317,9 @@ func (c *Client) attempt(ctx context.Context, method, path, contentType string, 
 	}
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	if c.cfg.Headers != nil {
+		c.cfg.Headers(req.Header)
 	}
 	trace.Inject(ctx, req.Header)
 	resp, err := c.cfg.HTTPClient.Do(req)
@@ -339,6 +356,18 @@ func (c *Client) attempt(ctx context.Context, method, path, contentType string, 
 	switch resp.StatusCode {
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		return true, retryAfter(resp), apiErr
+	case http.StatusConflict:
+		// A structured epoch-mismatch 409 carries the answering node's
+		// membership view; surface it as a typed error so routing
+		// layers (gateway, cluster) can re-resolve membership instead
+		// of treating the refusal as final. Retrying the same node with
+		// the same stale epoch would only repeat the answer.
+		var es EpochStatus
+		if json.Unmarshal(raw, &es) == nil && es.Epoch > 0 && len(es.Members) > 0 {
+			telemetry.Add("client/epoch_mismatches", 1)
+			return false, 0, &StaleEpochError{Node: es.Node, Epoch: es.Epoch, Members: es.Members, Message: msg}
+		}
+		return false, 0, apiErr
 	default:
 		return false, 0, apiErr
 	}

@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 
 	"repro/internal/service"
@@ -37,6 +38,84 @@ type ResultPut struct {
 	A      string             `json:"a"`
 	B      string             `json:"b"`
 	Scores map[string]float64 `json:"scores"`
+}
+
+// EpochHeader carries the sender's membership epoch on peer RPCs and
+// gateway requests. A node answering a ring-routed request compares it
+// against its own epoch and refuses a mismatch with a structured 409
+// (EpochStatus) — a node can never serve a routing decision from an
+// outdated ring, and the refused sender learns the fresher membership
+// from the answer.
+const EpochHeader = "X-Cluster-Epoch"
+
+// EpochStatus is the body of an epoch-mismatch 409: the answering
+// node's identity, epoch, and full membership view, so the refused
+// sender can re-resolve without a second round trip.
+type EpochStatus struct {
+	Error   string            `json:"error,omitempty"`
+	Node    string            `json:"node,omitempty"`
+	Epoch   uint64            `json:"epoch"`
+	Members map[string]string `json:"members,omitempty"`
+}
+
+// StaleEpochError is the typed form of an epoch-mismatch 409. It is
+// not retryable against the same node with the same epoch; routing
+// layers adopt the carried membership and re-route instead.
+type StaleEpochError struct {
+	Node    string
+	Epoch   uint64
+	Members map[string]string
+	Message string
+}
+
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("aigd: epoch mismatch at %s (its epoch %d): %s", e.Node, e.Epoch, e.Message)
+}
+
+// ReconfigureRequest asks a node to move to a new membership epoch.
+// Joining lists members that must receive a full backfill of every key
+// they own under the new ring (fresh joins and rejoins after data
+// loss), not just the keys whose ownership moved.
+type ReconfigureRequest struct {
+	Epoch   uint64            `json:"epoch"`
+	Peers   map[string]string `json:"peers"`
+	Joining []string          `json:"joining,omitempty"`
+}
+
+// AnnounceRequest is the peer-to-peer membership notification: a node
+// that installed a new epoch announces it (with the membership view,
+// so a behind peer can catch up), and a draining node announces its
+// departure so peers evict it from routing immediately instead of
+// waiting out probe failures.
+type AnnounceRequest struct {
+	Node     string            `json:"node"`
+	Epoch    uint64            `json:"epoch"`
+	Members  map[string]string `json:"members,omitempty"`
+	Draining bool              `json:"draining,omitempty"`
+}
+
+// HandoffProgress reports a node's current (or last) key handoff:
+// how many keys the plan covers, how many have been streamed, and how
+// many transfers failed.
+type HandoffProgress struct {
+	Active bool  `json:"active"`
+	Total  int64 `json:"total"`
+	Sent   int64 `json:"sent"`
+	Failed int64 `json:"failed"`
+}
+
+// StatusView is the GET /v1/cluster/status answer: the node's
+// membership epoch and lifecycle state plus its per-peer health view
+// and handoff progress — the aigw status surface.
+type StatusView struct {
+	Node     string              `json:"node"`
+	State    string              `json:"state"`
+	Epoch    uint64              `json:"epoch"`
+	Members  map[string]string   `json:"members"`
+	Down     []string            `json:"down"`
+	Failures map[string]int      `json:"failures"`
+	Breakers map[string][]string `json:"breakers,omitempty"`
+	Handoff  HandoffProgress     `json:"handoff"`
 }
 
 // ClusterFill asks a peer (the pair's owner) to resolve a fill
@@ -84,4 +163,42 @@ func (c *Client) ClusterPutResult(ctx context.Context, a, b string, scores map[s
 		return err
 	}
 	return c.do(ctx, "cluster_result", http.MethodPost, "/v1/cluster/result", "application/json", body, "", nil)
+}
+
+// ClusterStatus fetches a node's membership/handoff status.
+func (c *Client) ClusterStatus(ctx context.Context) (StatusView, error) {
+	var v StatusView
+	err := c.do(ctx, "cluster_status", http.MethodGet, "/v1/cluster/status", "", nil, "", &v)
+	return v, err
+}
+
+// ClusterReconfigure proposes a membership change to a node. The node
+// validates and replies immediately (202); handoff and epoch install
+// run asynchronously — poll ClusterStatus for completion.
+func (c *Client) ClusterReconfigure(ctx context.Context, req ReconfigureRequest) (StatusView, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return StatusView{}, err
+	}
+	var v StatusView
+	err = c.do(ctx, "cluster_reconfigure", http.MethodPost, "/v1/cluster/reconfigure", "application/json", body, "", &v)
+	return v, err
+}
+
+// ClusterDrain asks a node to drain: pre-copy its owned keys to their
+// successors and leave routing. Replies immediately; poll
+// ClusterStatus for handoff progress.
+func (c *Client) ClusterDrain(ctx context.Context) (StatusView, error) {
+	var v StatusView
+	err := c.do(ctx, "cluster_drain", http.MethodPost, "/v1/cluster/drain", "application/json", []byte("{}"), "", &v)
+	return v, err
+}
+
+// ClusterAnnounce delivers a membership notification to a peer.
+func (c *Client) ClusterAnnounce(ctx context.Context, req AnnounceRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, "cluster_announce", http.MethodPost, "/v1/cluster/announce", "application/json", body, "", nil)
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -13,8 +15,8 @@ import (
 	"repro/internal/telemetry"
 )
 
-// GatewayConfig sizes a Gateway: the static cluster membership plus a
-// per-peer client template.
+// GatewayConfig sizes a Gateway: the cluster membership it starts from
+// plus a per-peer client template.
 type GatewayConfig struct {
 	// Peers maps node ID → base URL for every cluster member. The IDs
 	// must match the -node-id each aigd was started with — they are
@@ -25,6 +27,13 @@ type GatewayConfig struct {
 	// ring.DefaultReplication and ring.DefaultVNodes).
 	Replication int
 	VNodes      int
+	// Epoch is the membership epoch Peers corresponds to (default 1).
+	// It rides every request as EpochHeader; a cluster that has moved
+	// past it refuses with a structured 409 carrying its current
+	// membership, which the gateway adopts automatically and retries —
+	// a gateway started from a stale peer list heals itself on first
+	// contact.
+	Epoch uint64
 	// Client is the per-peer client template; BaseURL is overridden
 	// per peer. Leave AttemptTimeout set (default 2s) so one stalled
 	// node cannot eat a request's whole budget before failover.
@@ -35,6 +44,17 @@ type GatewayConfig struct {
 // the gateway path when the template does not say otherwise.
 const DefaultGatewayAttemptTimeout = 2 * time.Second
 
+// gwView is one membership epoch's immutable routing state. Requests
+// load it once and route against it; Reconfigure swaps the whole view
+// atomically, so in-flight calls never see a half-updated membership.
+type gwView struct {
+	epoch   uint64
+	ring    *ring.Ring
+	ids     []string // sorted member IDs
+	urls    map[string]string
+	clients map[string]*Client
+}
+
 // Gateway is the client-side routing mode for a clustered aigd: it
 // holds one resilient Client per node and routes each call along the
 // same consistent-hash ring the cluster itself uses, so a request for
@@ -43,50 +63,110 @@ const DefaultGatewayAttemptTimeout = 2 * time.Second
 // over to the next replica, then to any remaining node (every node can
 // serve every request via its own peer-fill path; routing is a latency
 // optimization, never a correctness requirement).
+//
+// Membership is dynamic: Reconfigure installs a new peer set under a
+// higher epoch, and an epoch-mismatch 409 from the cluster triggers
+// the same adoption automatically mid-call.
 type Gateway struct {
-	ring    *ring.Ring
-	ids     []string // sorted member IDs
-	clients map[string]*Client
-	rr      atomic.Uint64 // submit round-robin cursor
+	cfg  GatewayConfig // template: Client config, Replication, VNodes
+	view atomic.Pointer[gwView]
+	mu   sync.Mutex    // serializes Reconfigure
+	rr   atomic.Uint64 // submit round-robin cursor
 }
 
-// NewGateway builds a Gateway over the static membership.
+// NewGateway builds a Gateway over the initial membership.
 func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if len(cfg.Peers) == 0 {
 		return nil, fmt.Errorf("client: GatewayConfig.Peers is required")
 	}
-	ids := make([]string, 0, len(cfg.Peers))
-	for id := range cfg.Peers {
-		ids = append(ids, id)
-	}
-	r, err := ring.New(ids, cfg.VNodes, cfg.Replication)
-	if err != nil {
-		return nil, err
-	}
 	if cfg.Client.AttemptTimeout <= 0 {
 		cfg.Client.AttemptTimeout = DefaultGatewayAttemptTimeout
 	}
-	g := &Gateway{ring: r, ids: r.Members(), clients: make(map[string]*Client, len(ids))}
-	for _, id := range g.ids {
-		ccfg := cfg.Client
-		ccfg.BaseURL = cfg.Peers[id]
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
+	}
+	g := &Gateway{cfg: cfg}
+	v, err := g.buildView(cfg.Epoch, cfg.Peers, nil)
+	if err != nil {
+		return nil, err
+	}
+	g.view.Store(v)
+	return g, nil
+}
+
+// buildView assembles the routing state for one epoch, reusing clients
+// from prev for members whose URL is unchanged (their breaker and
+// backoff state carries over — a reconfiguration must not amnesty a
+// struggling node).
+func (g *Gateway) buildView(epoch uint64, peers map[string]string, prev *gwView) (*gwView, error) {
+	ids := make([]string, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	r, err := ring.New(ids, g.cfg.VNodes, g.cfg.Replication)
+	if err != nil {
+		return nil, err
+	}
+	v := &gwView{
+		epoch:   epoch,
+		ring:    r,
+		ids:     r.Members(),
+		urls:    make(map[string]string, len(peers)),
+		clients: make(map[string]*Client, len(peers)),
+	}
+	for _, id := range v.ids {
+		v.urls[id] = peers[id]
+		if prev != nil && prev.urls[id] == peers[id] {
+			v.clients[id] = prev.clients[id]
+			continue
+		}
+		ccfg := g.cfg.Client
+		ccfg.BaseURL = peers[id]
+		// The epoch header is read at send time from the gateway, not
+		// baked in: a client surviving a reconfiguration stamps the
+		// new epoch on its next request.
+		ccfg.Headers = func(h http.Header) {
+			h.Set(EpochHeader, strconv.FormatUint(g.Epoch(), 10))
+		}
 		c, err := New(ccfg)
 		if err != nil {
 			return nil, fmt.Errorf("client: peer %s: %w", id, err)
 		}
-		g.clients[id] = c
+		v.clients[id] = c
 	}
-	return g, nil
+	return v, nil
 }
 
-// Members returns the sorted node IDs.
-func (g *Gateway) Members() []string { return g.ids }
+// Reconfigure installs a new membership under a strictly greater
+// epoch; a stale or duplicate proposal is a no-op. It is what aigw
+// reconfigure/join call explicitly and what a 409 triggers implicitly.
+func (g *Gateway) Reconfigure(epoch uint64, peers map[string]string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cur := g.view.Load()
+	if epoch <= cur.epoch {
+		return nil
+	}
+	v, err := g.buildView(epoch, peers, cur)
+	if err != nil {
+		return err
+	}
+	g.view.Store(v)
+	telemetry.Add("client/gateway_reconfigures", 1)
+	return nil
+}
+
+// Epoch returns the membership epoch the gateway currently routes by.
+func (g *Gateway) Epoch() uint64 { return g.view.Load().epoch }
+
+// Members returns the sorted node IDs of the current membership.
+func (g *Gateway) Members() []string { return g.view.Load().ids }
 
 // Client returns the per-node client, for callers that need to pin a
 // specific node (job polling must go back to the node that accepted
 // the job — jobs live in one node's memory, they are not replicated).
 func (g *Gateway) Client(id string) (*Client, bool) {
-	c, ok := g.clients[id]
+	c, ok := g.view.Load().clients[id]
 	return c, ok
 }
 
@@ -94,26 +174,26 @@ func (g *Gateway) Client(id string) (*Client, bool) {
 // order — the routing decision Metrics makes, exposed for operators
 // (aigw route) and tests.
 func (g *Gateway) PairOwners(fpA, fpB string) []string {
-	return g.ring.Owners(ring.PairKey(fpA, fpB))
+	return g.view.Load().ring.Owners(ring.PairKey(fpA, fpB))
 }
 
 // AIGOwners returns the nodes owning a stored structure, in preference
 // order — the routing decision Neighbors makes. Structures ring-hash on
 // the raw fingerprint, matching the server-side replication key.
 func (g *Gateway) AIGOwners(fp string) []string {
-	return g.ring.Owners(fp)
+	return g.view.Load().ring.Owners(fp)
 }
 
 // ordered builds a failover order: the given owners first, every
 // remaining node after them.
-func (g *Gateway) ordered(owners []string) []string {
-	out := make([]string, 0, len(g.ids))
+func (v *gwView) ordered(owners []string) []string {
+	out := make([]string, 0, len(v.ids))
 	out = append(out, owners...)
 	inOwners := make(map[string]bool, len(owners))
 	for _, id := range owners {
 		inOwners[id] = true
 	}
-	for _, id := range g.ids {
+	for _, id := range v.ids {
 		if !inOwners[id] {
 			out = append(out, id)
 		}
@@ -121,16 +201,22 @@ func (g *Gateway) ordered(owners []string) []string {
 	return out
 }
 
-// candidatesFor builds the failover order for a pair: ring owners
-// first, every remaining node after them.
-func (g *Gateway) candidatesFor(fpA, fpB string) []string {
-	return g.ordered(g.PairOwners(fpA, fpB))
+// roundRobin builds a failover order starting at the round-robin
+// cursor — the submit/no-affinity candidate order.
+func (g *Gateway) roundRobin(v *gwView) []string {
+	start := int(g.rr.Add(1)-1) % len(v.ids)
+	candidates := make([]string, 0, len(v.ids))
+	for i := 0; i < len(v.ids); i++ {
+		candidates = append(candidates, v.ids[(start+i)%len(v.ids)])
+	}
+	return candidates
 }
 
 // failover reports whether an error from one node justifies trying the
 // next: everything except a definitive contract refusal (4xx other
 // than 429) does. A 404/400 means the cluster understood the request
 // and said no — asking another replica would only repeat the answer.
+// (Epoch-mismatch 409s never reach here; tryEach adopts and reroutes.)
 func failover(err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
@@ -141,41 +227,63 @@ func failover(err error) bool {
 
 // tryEach runs call against each candidate in order until one
 // succeeds, failing over on retryable outcomes and counting each hop.
-func (g *Gateway) tryEach(ctx context.Context, candidates []string, call func(c *Client) error) error {
+// candidatesFn is evaluated against a single membership view per
+// round; an epoch-mismatch answer makes the gateway adopt the node's
+// fresher membership and start a new round against the new view.
+func (g *Gateway) tryEach(ctx context.Context, candidatesFn func(v *gwView) []string, call func(c *Client) error) error {
 	var lastErr error
-	for i, id := range candidates {
-		if err := ctx.Err(); err != nil {
-			if lastErr != nil {
-				return fmt.Errorf("gateway: %w (last failure: %v)", err, lastErr)
+	// Two membership rounds: the second runs only after a 409 taught
+	// the gateway a newer membership, which cannot happen twice for
+	// one epoch (adoption is monotonic).
+	for round := 0; round < 2; round++ {
+		v := g.view.Load()
+		candidates := candidatesFn(v)
+		for i, id := range candidates {
+			if err := ctx.Err(); err != nil {
+				if lastErr != nil {
+					return fmt.Errorf("gateway: %w (last failure: %v)", err, lastErr)
+				}
+				return err
 			}
-			return err
+			c, ok := v.clients[id]
+			if !ok {
+				continue
+			}
+			err := call(c)
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+			var se *StaleEpochError
+			if errors.As(err, &se) && round == 0 {
+				// The node is on a newer membership: adopt it and
+				// re-route the whole call against the fresh ring.
+				if rerr := g.Reconfigure(se.Epoch, se.Members); rerr == nil {
+					telemetry.Add("client/gateway_epoch_adoptions", 1)
+					break
+				}
+				return err
+			}
+			if !failover(err) {
+				return err
+			}
+			if i+1 < len(candidates) {
+				telemetry.Add("client/gateway_failovers", 1)
+			}
 		}
-		err := call(g.clients[id])
-		if err == nil {
-			return nil
-		}
-		lastErr = err
-		if !failover(err) {
-			return err
-		}
-		if i+1 < len(candidates) {
-			telemetry.Add("client/gateway_failovers", 1)
+		if !isStaleEpoch(lastErr) {
+			break
 		}
 	}
-	return fmt.Errorf("gateway: all %d nodes failed: %w", len(candidates), lastErr)
+	return fmt.Errorf("gateway: all nodes failed: %w", lastErr)
 }
 
 // SubmitAIG uploads an AIGER payload to the cluster. The receiving
 // node (round-robin over members, with failover) interns it and
 // replicates it to the structure's ring owners server-side.
 func (g *Gateway) SubmitAIG(ctx context.Context, aiger []byte) (service.AIGView, error) {
-	start := int(g.rr.Add(1)-1) % len(g.ids)
-	candidates := make([]string, 0, len(g.ids))
-	for i := 0; i < len(g.ids); i++ {
-		candidates = append(candidates, g.ids[(start+i)%len(g.ids)])
-	}
 	var v service.AIGView
-	err := g.tryEach(ctx, candidates, func(c *Client) error {
+	err := g.tryEach(ctx, g.roundRobin, func(c *Client) error {
 		view, err := c.SubmitAIG(ctx, aiger)
 		if err == nil {
 			v = view
@@ -190,7 +298,9 @@ func (g *Gateway) SubmitAIG(ctx context.Context, aiger []byte) (service.AIGView,
 // then to the rest of the cluster.
 func (g *Gateway) Metrics(ctx context.Context, a, b string, metrics []string) (map[string]float64, error) {
 	var scores map[string]float64
-	err := g.tryEach(ctx, g.candidatesFor(a, b), func(c *Client) error {
+	err := g.tryEach(ctx, func(v *gwView) []string {
+		return v.ordered(v.ring.Owners(ring.PairKey(a, b)))
+	}, func(c *Client) error {
 		s, err := c.Metrics(ctx, a, b, metrics)
 		if err == nil {
 			scores = s
@@ -207,7 +317,9 @@ func (g *Gateway) Metrics(ctx context.Context, a, b string, metrics []string) (m
 // per-node view, not a global one.
 func (g *Gateway) Neighbors(ctx context.Context, fp string, opts NeighborsOptions) (service.NeighborsResponse, error) {
 	var resp service.NeighborsResponse
-	err := g.tryEach(ctx, g.ordered(g.AIGOwners(fp)), func(c *Client) error {
+	err := g.tryEach(ctx, func(v *gwView) []string {
+		return v.ordered(v.ring.Owners(fp))
+	}, func(c *Client) error {
 		r, err := c.Neighbors(ctx, fp, opts)
 		if err == nil {
 			resp = r
@@ -223,17 +335,14 @@ func (g *Gateway) Neighbors(ctx context.Context, fp string, opts NeighborsOption
 // round-robins like SubmitAIG since every node's corpus is equally
 // valid a population.
 func (g *Gateway) DiverseSubset(ctx context.Context, pool []string, k int, metric string) (service.DiverseResponse, error) {
-	var candidates []string
+	candidatesFn := g.roundRobin
 	if len(pool) > 0 {
-		candidates = g.ordered(g.AIGOwners(pool[0]))
-	} else {
-		start := int(g.rr.Add(1)-1) % len(g.ids)
-		for i := 0; i < len(g.ids); i++ {
-			candidates = append(candidates, g.ids[(start+i)%len(g.ids)])
+		candidatesFn = func(v *gwView) []string {
+			return v.ordered(v.ring.Owners(pool[0]))
 		}
 	}
 	var resp service.DiverseResponse
-	err := g.tryEach(ctx, candidates, func(c *Client) error {
+	err := g.tryEach(ctx, candidatesFn, func(c *Client) error {
 		r, err := c.DiverseSubset(ctx, pool, k, metric)
 		if err == nil {
 			resp = r
@@ -246,9 +355,27 @@ func (g *Gateway) DiverseSubset(ctx context.Context, pool []string, k int, metri
 // Healthz probes every node once and returns the per-node outcome
 // (nil = healthy).
 func (g *Gateway) Healthz(ctx context.Context) map[string]error {
-	out := make(map[string]error, len(g.ids))
-	for _, id := range g.ids {
-		out[id] = g.clients[id].Healthz(ctx)
+	v := g.view.Load()
+	out := make(map[string]error, len(v.ids))
+	for _, id := range v.ids {
+		out[id] = v.clients[id].Healthz(ctx)
 	}
 	return out
+}
+
+// Statuses fetches every node's membership/handoff status; the error
+// map carries per-node fetch failures (nil = the StatusView is valid).
+func (g *Gateway) Statuses(ctx context.Context) (map[string]StatusView, map[string]error) {
+	v := g.view.Load()
+	views := make(map[string]StatusView, len(v.ids))
+	errs := make(map[string]error, len(v.ids))
+	for _, id := range v.ids {
+		sv, err := v.clients[id].ClusterStatus(ctx)
+		if err != nil {
+			errs[id] = err
+			continue
+		}
+		views[id] = sv
+	}
+	return views, errs
 }

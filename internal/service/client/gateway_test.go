@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -191,6 +192,123 @@ func TestGatewayNoFailoverOnContract(t *testing.T) {
 	}
 	if total != 1 {
 		t.Fatalf("a contract 404 reached %d nodes, want exactly 1", total)
+	}
+}
+
+// TestGatewayReconfigureOn409: a gateway started from a stale peer
+// list must heal itself on first contact — the cluster refuses the
+// stale epoch with a structured 409 carrying its membership, the
+// gateway adopts it and retries, and the caller sees a clean answer.
+func TestGatewayReconfigureOn409(t *testing.T) {
+	reg := telemetry.Enable()
+	reg.Reset()
+
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close()
+	inner := svc.Handler()
+
+	const newEpoch = 7
+	var ts *httptest.Server
+	ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := r.Header.Get(EpochHeader)
+		if got != "7" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			// The refusal carries the fresher membership (the same
+			// node under a different ID, so adoption is observable).
+			body, _ := json.Marshal(EpochStatus{
+				Error:   "epoch mismatch: got " + got,
+				Node:    "n1",
+				Epoch:   newEpoch,
+				Members: map[string]string{"n1": ts.URL, "n9": ts.URL},
+			})
+			w.Write(body)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	g, err := NewGateway(GatewayConfig{
+		Peers:  map[string]string{"n1": ts.URL},
+		Client: Config{MaxAttempts: 1, AttemptTimeout: 5 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != 1 {
+		t.Fatalf("initial epoch = %d, want 1", g.Epoch())
+	}
+
+	// The submit must succeed despite the gateway starting at epoch 1:
+	// one 409, one adoption, one retry under the new epoch.
+	if _, err := g.SubmitAIG(context.Background(), testAIG(t, 99)); err != nil {
+		t.Fatalf("submit through stale gateway: %v", err)
+	}
+	if g.Epoch() != newEpoch {
+		t.Fatalf("epoch after adoption = %d, want %d", g.Epoch(), newEpoch)
+	}
+	members := g.Members()
+	if len(members) != 2 || members[0] != "n1" || members[1] != "n9" {
+		t.Fatalf("members after adoption = %v, want [n1 n9]", members)
+	}
+	if n := reg.Counter("client/gateway_reconfigures").Value(); n != 1 {
+		t.Fatalf("gateway_reconfigures = %d, want 1", n)
+	}
+	if n := reg.Counter("client/epoch_mismatches").Value(); n < 1 {
+		t.Fatalf("epoch_mismatches = %d, want >= 1", n)
+	}
+
+	// Subsequent calls run clean at the adopted epoch — no more 409s.
+	before := reg.Counter("client/epoch_mismatches").Value()
+	if _, err := g.SubmitAIG(context.Background(), testAIG(t, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("client/epoch_mismatches").Value(); n != before {
+		t.Fatalf("epoch_mismatches grew to %d after adoption", n)
+	}
+}
+
+// TestGatewayExplicitReconfigure: Reconfigure is epoch-monotonic and
+// reuses clients for unchanged URLs (breaker state must survive a
+// membership change).
+func TestGatewayExplicitReconfigure(t *testing.T) {
+	fx := newGatewayFixture(t)
+	g := fx.g
+	v := g.view.Load()
+	urls := map[string]string{}
+	for id, u := range v.urls {
+		urls[id] = u
+	}
+	oldN1, _ := g.Client("n1")
+
+	// Stale and duplicate epochs are no-ops.
+	if err := g.Reconfigure(1, map[string]string{"nX": "http://invalid"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Members(); len(got) != 3 {
+		t.Fatalf("stale reconfigure changed membership: %v", got)
+	}
+
+	// A real move: drop n3, keep n1/n2.
+	next := map[string]string{"n1": urls["n1"], "n2": urls["n2"]}
+	if err := g.Reconfigure(2, next); err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", g.Epoch())
+	}
+	if got := g.Members(); len(got) != 2 || got[0] != "n1" || got[1] != "n2" {
+		t.Fatalf("members = %v, want [n1 n2]", got)
+	}
+	if newN1, _ := g.Client("n1"); newN1 != oldN1 {
+		t.Fatal("client for unchanged URL was rebuilt — breaker state lost")
+	}
+	if _, ok := g.Client("n3"); ok {
+		t.Fatal("removed member still resolvable")
+	}
+	if _, err := g.Metrics(context.Background(), "x", "y", nil); err == nil {
+		t.Fatal("expected 404 routing through 2-node view")
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/aiger"
 	"repro/internal/simil"
@@ -152,6 +154,68 @@ func (s *Server) FillPairCache(fpA, fpB string, scores map[string]float64) {
 		key, _ := cacheKey(name, fpA, fpB)
 		s.cache.put(key, v)
 	}
+}
+
+// StoredFingerprints returns every fingerprint in the local store in
+// sorted order — the enumeration base a membership-change handoff
+// plans structure transfers from.
+func (s *Server) StoredFingerprints() []string {
+	snap := s.store.snapshot()
+	out := make([]string, len(snap))
+	for i, e := range snap {
+		out[i] = e.fp
+	}
+	return out
+}
+
+// PairResult is one pair's cached scores, re-assembled from the result
+// cache's per-metric lines — the unit a handoff streams via
+// ClusterPutResult.
+type PairResult struct {
+	A, B   string
+	Scores map[string]float64
+}
+
+// CachedPairResults groups the local result cache back into per-pair
+// score maps, sorted by (A, B) for deterministic handoff plans. Like
+// entries(), this is a point-in-time view; a result missed by a
+// concurrent put is recomputable anywhere, so handoff completeness is
+// best-effort by design — correctness rests on purity, not on the copy
+// being exhaustive.
+func (s *Server) CachedPairResults() []PairResult {
+	byPair := make(map[string]*PairResult)
+	for _, it := range s.cache.entries() {
+		// Keys are "metric|fpA|fpB" with sorted fingerprints; metric
+		// names never contain '|'.
+		parts := strings.SplitN(it.key, "|", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		pk := parts[1] + "|" + parts[2]
+		pr, ok := byPair[pk]
+		if !ok {
+			pr = &PairResult{A: parts[1], B: parts[2], Scores: make(map[string]float64)}
+			byPair[pk] = pr
+		}
+		pr.Scores[parts[0]] = it.val
+	}
+	keys := make([]string, 0, len(byPair))
+	for k := range byPair {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]PairResult, len(keys))
+	for i, k := range keys {
+		out[i] = *byPair[k]
+	}
+	return out
+}
+
+// RetryAfterSeconds exposes the load-scaled Retry-After hint (1s idle,
+// up to 30s under backlog) so the cluster layer's refusals carry the
+// same pacing signal as the service's own 429s.
+func (s *Server) RetryAfterSeconds() int {
+	return s.retryAfterSeconds()
 }
 
 // MetricNames canonicalizes a request's metric list the way the

@@ -160,12 +160,21 @@ func (s *Server) shed(w http.ResponseWriter, r *http.Request) {
 // daemon instead of a constant: an idle daemon says "1", one with a
 // deep backlog tells clients to stay away for roughly the number of
 // queue "waves" its workers still have to absorb, and a draining
-// daemon points past its drain budget (new work will not be admitted
-// until a fresh process is up). Capped so a pathological backlog never
-// tells clients to disappear for minutes.
+// daemon points at its estimated remaining handoff backlog (the drain
+// hint, when the cluster layer installed one) or past its drain budget
+// otherwise. Capped so a pathological backlog never tells clients to
+// disappear for minutes.
 func (s *Server) retryAfterSeconds() int {
 	const capSeconds = 30
 	if s.draining.Load() {
+		if fn := s.drainHint.Load(); fn != nil {
+			if hint := (*fn)(); hint > 0 {
+				if hint > capSeconds {
+					hint = capSeconds
+				}
+				return hint
+			}
+		}
 		return capSeconds
 	}
 	workers := s.pool.workers
@@ -593,7 +602,10 @@ func (s *Server) handleMetricsBatch(w http.ResponseWriter, r *http.Request) {
 
 // replyPoolError maps pool failures: saturation sheds with 429, a
 // client disconnect (context cancellation) is counted and logged with
-// 499-style semantics (the client is gone; any status is unread).
+// 499-style semantics (the client is gone; any status is unread). The
+// 503 fallback (pool shut down mid-request — the drain/stop path)
+// carries the same scaled Retry-After as the 429s so clients refused
+// during a drain back off by the backlog estimate, not blindly.
 func (s *Server) replyPoolError(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, ErrBusy) {
 		s.shed(w, r)
@@ -602,6 +614,7 @@ func (s *Server) replyPoolError(w http.ResponseWriter, r *http.Request, err erro
 	if r.Context().Err() != nil {
 		telemetry.Add("service/client_disconnects", 1)
 	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	replyError(w, http.StatusServiceUnavailable, "%v", err)
 }
 

@@ -136,6 +136,11 @@ type Server struct {
 	baseStop context.CancelFunc
 	draining atomic.Bool
 
+	// drainHint, when set (SetDrainRetryHint), estimates how many
+	// seconds of handoff backlog remain while draining; drain-mode
+	// 503s scale their Retry-After by it instead of pinning the cap.
+	drainHint atomic.Pointer[func() int]
+
 	// testComputeDelay, when set by tests, runs inside the
 	// singleflighted metric computation to widen the race window.
 	testComputeDelay func()
@@ -174,6 +179,19 @@ func New(cfg Config) *Server {
 	s.metricsAdm.limit = int64(cfg.PendingMetrics)
 	s.jobsAdm.limit = int64(cfg.PendingJobs)
 	return s
+}
+
+// SetDrainRetryHint installs an estimator for drain-mode Retry-After:
+// the seconds a refused client should wait before the departing node's
+// keys are reachable elsewhere. The cluster layer derives it from its
+// handoff backlog; without a hint, drain 503s advertise the fixed cap.
+// Safe to call at any time (the slot is atomic).
+func (s *Server) SetDrainRetryHint(fn func() int) {
+	if fn == nil {
+		s.drainHint.Store(nil)
+		return
+	}
+	s.drainHint.Store(&fn)
 }
 
 // Drain puts the server into drain mode — every new request is refused
